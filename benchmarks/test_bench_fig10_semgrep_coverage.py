@@ -1,0 +1,20 @@
+"""Figure 10: CDF of malware coverage per generated Semgrep rule."""
+
+from conftest import run_once, save_report
+
+
+def test_bench_fig10_semgrep_coverage(benchmark, suite, report_dir):
+    result = run_once(benchmark, suite.figure10_semgrep_coverage)
+    rendered = result.render()
+    save_report(report_dir, "fig10_semgrep_coverage", rendered)
+    print("\n" + rendered)
+
+    yara_cdf = suite.figure9_yara_coverage().cdf
+    semgrep_cdf = result.cdf
+    assert semgrep_cdf.rule_count == len(suite.semgrep_rule_stats)
+    # the paper: Semgrep rules have broader coverage than YARA rules -- the
+    # fraction of narrow rules (covering < ~6% of the corpus) is smaller.
+    malware_count = len(suite.dataset.malware)
+    narrow_cutoff = max(2, round(malware_count * 0.06))
+    assert semgrep_cdf.fraction_below(narrow_cutoff) <= yara_cdf.fraction_below(narrow_cutoff) + 0.15
+    assert semgrep_cdf.max_coverage() >= malware_count * 0.2

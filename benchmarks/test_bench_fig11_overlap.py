@@ -1,0 +1,21 @@
+"""Figure 11: overlap heatmap between rule categories."""
+
+from repro.categories import CATEGORIES
+
+from conftest import run_once, save_report
+
+
+def test_bench_fig11_overlap(benchmark, suite, report_dir):
+    result = run_once(benchmark, suite.figure11_overlap)
+    rendered = result.render()
+    save_report(report_dir, "fig11_overlap", rendered)
+    print("\n" + rendered)
+
+    matrix = result.overlap.matrix
+    assert len(matrix) == len(CATEGORIES) == 11
+    # symmetric, empty diagonal, and at least some rules belong to two categories
+    for i in range(11):
+        assert matrix[i][i] == 0
+        for j in range(11):
+            assert matrix[i][j] == matrix[j][i]
+    assert result.overlap.max_overlap >= 1

@@ -1,0 +1,17 @@
+"""Figure 5: YARA detection performance vs the matched-rule threshold."""
+
+from conftest import run_once, save_report
+
+
+def test_bench_fig5_yara_matched(benchmark, suite, report_dir):
+    result = run_once(benchmark, suite.figure5_yara_matched_curve)
+    rendered = result.render()
+    save_report(report_dir, "fig5_yara_matched", rendered)
+    print("\n" + rendered)
+
+    points = result.curve.points
+    assert points[0].matched_rules == 1
+    # the paper observes the best YARA performance at one matched rule and a
+    # decline as the threshold rises (YARA rules are specific and rarely co-fire)
+    assert points[0].f1 == max(point.f1 for point in points)
+    assert points[-1].recall <= points[0].recall

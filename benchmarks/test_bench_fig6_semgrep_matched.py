@@ -1,0 +1,19 @@
+"""Figure 6: Semgrep detection performance vs the matched-rule threshold."""
+
+from conftest import run_once, save_report
+
+
+def test_bench_fig6_semgrep_matched(benchmark, suite, report_dir):
+    result = run_once(benchmark, suite.figure6_semgrep_matched_curve)
+    rendered = result.render()
+    save_report(report_dir, "fig6_semgrep_matched", rendered)
+    print("\n" + rendered)
+
+    points = result.curve.points
+    assert points
+    # Semgrep rules are broader/structural: the curve is flatter than YARA's,
+    # i.e. performance changes only gradually with the matched-rule count.
+    first_f1 = points[0].f1
+    mid_index = min(len(points) - 1, 3)
+    assert points[mid_index].f1 >= first_f1 * 0.55
+    assert all(0.0 <= point.f1 <= 1.0 for point in points)

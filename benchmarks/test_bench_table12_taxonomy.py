@@ -1,0 +1,20 @@
+"""Table XII: taxonomy of the generated rules (11 categories / 38 subcategories)."""
+
+from conftest import run_once, save_report
+
+
+def test_bench_table12_taxonomy(benchmark, suite, report_dir):
+    result = run_once(benchmark, suite.table12_taxonomy)
+    rendered = result.render()
+    save_report(report_dir, "table12_taxonomy", rendered)
+    print("\n" + rendered)
+
+    totals = result.category_totals()
+    # categories are non-exclusive, so labels outnumber rules (paper: 1,217
+    # labels over 452 YARA rules)
+    assert result.total_labels >= len(suite.ruleset.rules)
+    # the behaviour-heavy categories dominate, as in the paper
+    top = sorted(totals, key=totals.get, reverse=True)[:4]
+    assert ("Network Related" in top) or ("Malicious Behavior" in top) or ("Obfuscation & Anti-Detection" in top)
+    # at least half of the 11 categories are represented
+    assert len([c for c, count in totals.items() if count > 0]) >= 6

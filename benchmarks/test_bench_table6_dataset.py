@@ -1,0 +1,20 @@
+"""Table VI: dataset statistics (packages, dedup, average LoC)."""
+
+from conftest import run_once, save_report
+
+
+def test_bench_table6_dataset(benchmark, suite, report_dir):
+    result = run_once(benchmark, suite.table6_dataset)
+    rendered = result.render()
+    save_report(report_dir, "table6_dataset", rendered)
+    print("\n" + rendered)
+
+    rows = {name: (total, unique, loc) for name, total, unique, loc in result.rows}
+    malware_total, malware_unique, malware_loc = rows["Malware"]
+    benign_total, benign_unique, benign_loc = rows["Legitimate"]
+    # shape checks mirroring the paper: heavy duplication in the malware feed,
+    # no duplication in the benign slice, and benign packages are much larger.
+    assert malware_unique < malware_total
+    assert 0.35 <= malware_unique / malware_total <= 0.65
+    assert benign_unique == benign_total
+    assert benign_loc > 2 * malware_loc

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Quickstart: generate YARA & Semgrep rules for a batch of malicious packages.
+
+This walks the full RuleLLM pipeline end to end on a small synthetic corpus:
+
+1. build a corpus of malicious + legitimate PyPI-style packages,
+2. run RuleLLM (craft -> refine -> align) over the malware,
+3. compile the generated rules with the bundled YARA / Semgrep engines,
+4. scan the whole corpus and print detection metrics,
+5. write the deployable rule files to ``./generated_rules/``.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core import RuleLLM, RuleLLMConfig
+from repro.corpus import DatasetConfig, build_dataset
+from repro.evaluation.detector import RuleScanner
+from repro.evaluation.reporting import format_table, percent
+
+
+def main() -> None:
+    # 1. a small corpus (increase `scale` for larger runs; 1.0 = paper scale)
+    dataset = build_dataset(DatasetConfig.medium(seed=1633))
+    stats = dataset.statistics()
+    print(f"corpus: {stats.malware_total} malicious uploads "
+          f"({stats.malware_unique} unique after dedup), {stats.benign_total} legitimate packages")
+
+    # 2. run the pipeline (the simulated GPT-4o analyst is the default provider)
+    pipeline = RuleLLM(RuleLLMConfig.full(model="gpt-4o"))
+    ruleset = pipeline.generate_rules(dataset.malware)
+    counts = ruleset.counts()
+    print(f"generated {counts['yara']} YARA rules and {counts['semgrep']} Semgrep rules "
+          f"({counts['rejected']} rejected by the alignment agent)")
+    print(f"clusters: {pipeline.last_run.cluster_count}, "
+          f"repaired rules: {pipeline.last_run.alignment.repaired}")
+
+    # 3. compile and 4. scan
+    scanner = RuleScanner(
+        yara_rules=ruleset.compile_yara(),
+        semgrep_rules=ruleset.compile_semgrep(),
+    )
+    metrics = scanner.evaluate(dataset.packages)
+    print()
+    print(format_table(
+        ["metric", "value", "paper"],
+        [
+            ["accuracy", percent(metrics.accuracy), "81.4%"],
+            ["precision", percent(metrics.precision), "85.2%"],
+            ["recall", percent(metrics.recall), "91.8%"],
+            ["f1", percent(metrics.f1), "88.4%"],
+        ],
+        title="RuleLLM detection performance",
+    ))
+
+    # 5. write rules to disk, ready for deployment in YARA / Semgrep workflows
+    output = Path("generated_rules")
+    ruleset.save(output)
+    print(f"\nwrote rule files under {output.resolve()}/ (yara/*.yar, semgrep/*.yaml)")
+
+    # show one of each for a feel of the output (pick reasonably rich ones)
+    if ruleset.yara_rules:
+        showcase = max(ruleset.yara_rules, key=lambda rule: rule.text.count("$"))
+        print("\nexample YARA rule:\n" + showcase.text)
+    if ruleset.semgrep_rules:
+        showcase = max(ruleset.semgrep_rules, key=lambda rule: rule.text.count("pattern"))
+        print("example Semgrep rule:\n" + showcase.text)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper's evaluation section.
+
+Thin command-line front end over :class:`repro.evaluation.experiments.ExperimentSuite`.
+By default it runs at 10% of the paper's corpus scale; pass ``--scale 1.0``
+for a full-scale run (slower) and ``--all`` to include the model comparison
+(Table IX) and the ablation (Table X), which each require several extra
+pipeline runs.
+
+Run with::
+
+    python examples/reproduce_paper_tables.py --scale 0.1
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.core import RuleLLMConfig
+from repro.corpus import DatasetConfig
+from repro.evaluation.experiments import ExperimentSuite
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.1,
+                        help="fraction of the paper-scale corpus to generate (default 0.1)")
+    parser.add_argument("--model", default="gpt-4o", help="model profile for the main run")
+    parser.add_argument("--all", action="store_true",
+                        help="also run the model comparison (Table IX) and ablation (Table X)")
+    parser.add_argument("--seed", type=int, default=1633)
+    args = parser.parse_args()
+
+    dataset_config = DatasetConfig(scale=args.scale, seed=args.seed)
+    if args.scale < 0.5:
+        dataset_config.benign_modules_range = (3, 6)
+        dataset_config.benign_pieces_per_module_range = (8, 16)
+    suite = ExperimentSuite(dataset_config, RuleLLMConfig.full(model=args.model, seed=args.seed))
+
+    results = suite.run_all(include_model_comparison=args.all, include_ablation=args.all)
+    order = ["table6", "table8", "table9", "table10", "table11", "table12",
+             "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "variants"]
+    for key in order:
+        if key in results:
+            print()
+            print("=" * 80)
+            print(results[key].render())
+
+
+if __name__ == "__main__":
+    main()

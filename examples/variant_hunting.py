@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Scenario: hunting unseen variants of a malware family (paper Section V-B).
+
+Supply-chain attackers re-upload near-identical packages under new names as
+soon as one gets taken down.  This example reproduces the paper's variant
+experiment: rules are generated from just two samples of each family cluster
+and then evaluated against the family's remaining, unseen variants.
+
+It also compares the model profiles (Table IX) on the same task, showing how
+the capability knobs of the simulated LLM propagate to downstream detection.
+
+Run with::
+
+    python examples/variant_hunting.py
+"""
+
+from __future__ import annotations
+
+from repro.core import RuleLLMConfig
+from repro.corpus import DatasetConfig, build_dataset
+from repro.evaluation.reporting import format_table, percent
+from repro.evaluation.variants import variant_detection_experiment
+
+
+def main() -> None:
+    dataset = build_dataset(DatasetConfig.medium(seed=77))
+    print(f"malware corpus: {len(dataset.malware)} unique packages, "
+          f"{len(dataset.families())} generator families")
+
+    # Section V-B with the default (GPT-4o) profile
+    result = variant_detection_experiment(dataset.malware, RuleLLMConfig.full(), max_groups=25)
+    print(f"\nvariant detection with GPT-4o rules "
+          f"({len(result.groups)} groups, {result.total_variants} unseen variants):")
+    print(f"  overall detection rate: {percent(result.overall_detection_rate)}  (paper: 90.3%)")
+    print(f"  average detection rate: {percent(result.average_detection_rate)}  (paper: 96.6%)")
+
+    worst = sorted(result.groups, key=lambda group: group.detection_rate)[:3]
+    if worst:
+        print("\nhardest groups:")
+        for group in worst:
+            print(f"  cluster {group.cluster_id}: {group.detected}/{group.variants} variants detected "
+                  f"(seeds: {', '.join(group.seeds)})")
+
+    # model comparison on the same task
+    rows = []
+    for model in ("gpt-4o", "claude-3.5-sonnet", "gpt-3.5-turbo", "llama-3.1-70b"):
+        outcome = variant_detection_experiment(
+            dataset.malware, RuleLLMConfig.full(model=model), max_groups=12
+        )
+        rows.append([model, len(outcome.groups),
+                     percent(outcome.overall_detection_rate),
+                     percent(outcome.average_detection_rate)])
+    print()
+    print(format_table(["model", "groups", "overall", "average"], rows,
+                       title="Variant detection by model profile"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept alongside ``pyproject.toml`` so the package installs in minimal offline
+environments where the ``wheel`` package is unavailable and PEP 517 editable
+installs fail (``python setup.py develop`` still works there).
+"""
+
+from setuptools import setup
+
+setup()

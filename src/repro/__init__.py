@@ -1,0 +1,36 @@
+"""RuleLLM reproduction.
+
+A from-scratch Python implementation of *Automatically Generating Rules of
+Malicious Software Packages via Large Language Model* (DSN 2025): the RuleLLM
+pipeline (crafting, refining and aligning YARA & Semgrep rules for OSS
+malware) together with every substrate it needs offline -- a simulated
+analyst LLM, pure-Python YARA and Semgrep engines, a synthetic PyPI malware /
+benign corpus, the paper's baselines, and an evaluation harness that
+regenerates every table and figure of the paper.
+
+The most common entry points:
+
+>>> from repro.corpus import build_dataset, DatasetConfig
+>>> from repro.core import RuleLLM, RuleLLMConfig
+>>> dataset = build_dataset(DatasetConfig.small())
+>>> rules = RuleLLM(RuleLLMConfig.full()).generate_rules(dataset.malware)
+>>> rules.counts()["total"] > 0
+True
+"""
+
+from repro.core import RuleLLM, RuleLLMConfig
+from repro.core.rules import GeneratedRule, GeneratedRuleSet
+from repro.corpus import Dataset, DatasetConfig, build_dataset
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "RuleLLM",
+    "RuleLLMConfig",
+    "GeneratedRule",
+    "GeneratedRuleSet",
+    "Dataset",
+    "DatasetConfig",
+    "build_dataset",
+    "__version__",
+]

@@ -1,0 +1,29 @@
+"""Information-entropy scoring used by the score-based baseline."""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+
+def shannon_entropy(text: str) -> float:
+    """Shannon entropy of the character distribution of ``text`` (bits/char)."""
+    if not text:
+        return 0.0
+    counts = Counter(text)
+    total = len(text)
+    entropy = 0.0
+    for count in counts.values():
+        probability = count / total
+        entropy -= probability * math.log2(probability)
+    return entropy
+
+
+def normalized_entropy(text: str) -> float:
+    """Entropy scaled to [0, 1] by the maximum possible for the alphabet used."""
+    if not text:
+        return 0.0
+    alphabet = len(set(text))
+    if alphabet <= 1:
+        return 0.0
+    return shannon_entropy(text) / math.log2(alphabet)

@@ -1,0 +1,107 @@
+"""Minimal isolation forest (scikit-learn substitute).
+
+The score-based baseline (paper Section V-A) weighs candidate strings with an
+isolation-forest anomaly score.  This is a standard isolation forest over
+small numeric feature vectors: random axis-aligned splits, path length
+averaged over trees, normalised with the usual ``c(n)`` term.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def _average_path_length(n: int) -> float:
+    """Expected path length of an unsuccessful BST search among ``n`` points."""
+    if n <= 1:
+        return 0.0
+    if n == 2:
+        return 1.0
+    harmonic = math.log(n - 1) + 0.5772156649
+    return 2.0 * harmonic - 2.0 * (n - 1) / n
+
+
+@dataclass
+class _Node:
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+    size: int = 0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None and self.right is None
+
+
+class IsolationForest:
+    """Isolation forest returning anomaly scores in [0, 1] (1 = most anomalous)."""
+
+    def __init__(self, n_trees: int = 64, sample_size: int = 128, random_seed: int = 42) -> None:
+        if n_trees < 1:
+            raise ValueError("n_trees must be >= 1")
+        self.n_trees = n_trees
+        self.sample_size = sample_size
+        self.random_seed = random_seed
+        self._trees: list[_Node] = []
+        self._sample_used = 0
+
+    # -- fitting -------------------------------------------------------------------
+    def fit(self, data: np.ndarray) -> "IsolationForest":
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim == 1:
+            data = data.reshape(-1, 1)
+        if data.shape[0] == 0:
+            raise ValueError("cannot fit an isolation forest on empty data")
+        rng = np.random.default_rng(self.random_seed)
+        sample = min(self.sample_size, data.shape[0])
+        self._sample_used = sample
+        height_limit = int(math.ceil(math.log2(max(sample, 2))))
+        self._trees = []
+        for _ in range(self.n_trees):
+            indices = rng.choice(data.shape[0], size=sample, replace=False)
+            self._trees.append(self._build(data[indices], 0, height_limit, rng))
+        return self
+
+    def _build(self, data: np.ndarray, depth: int, limit: int, rng: np.random.Generator) -> _Node:
+        node = _Node(size=data.shape[0])
+        if depth >= limit or data.shape[0] <= 1:
+            return node
+        spans = data.max(axis=0) - data.min(axis=0)
+        candidates = np.nonzero(spans > 0)[0]
+        if candidates.size == 0:
+            return node
+        feature = int(rng.choice(candidates))
+        low, high = data[:, feature].min(), data[:, feature].max()
+        threshold = float(rng.uniform(low, high))
+        mask = data[:, feature] < threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(data[mask], depth + 1, limit, rng)
+        node.right = self._build(data[~mask], depth + 1, limit, rng)
+        return node
+
+    # -- scoring --------------------------------------------------------------------
+    def _path_length(self, point: np.ndarray, node: _Node, depth: int) -> float:
+        if node.is_leaf:
+            return depth + _average_path_length(node.size)
+        if point[node.feature] < node.threshold:
+            return self._path_length(point, node.left, depth + 1)
+        return self._path_length(point, node.right, depth + 1)
+
+    def score(self, data: np.ndarray) -> np.ndarray:
+        """Anomaly score per row; higher means more isolated (more unusual)."""
+        if not self._trees:
+            raise RuntimeError("IsolationForest.score called before fit")
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim == 1:
+            data = data.reshape(-1, 1)
+        expected = _average_path_length(self._sample_used)
+        scores = np.empty(data.shape[0])
+        for index, point in enumerate(data):
+            mean_path = np.mean([self._path_length(point, tree, 0) for tree in self._trees])
+            scores[index] = 2.0 ** (-mean_path / max(expected, 1e-9))
+        return scores

@@ -1,0 +1,127 @@
+"""Command-line interface (``rulellm``).
+
+Three subcommands cover the common workflows:
+
+``rulellm generate``
+    Build a synthetic corpus (or load unpacked packages from a directory),
+    run the RuleLLM pipeline and write the generated ``.yar`` / ``.yaml``
+    rule files to an output directory.
+
+``rulellm scan``
+    Scan unpacked package directories with a previously generated rule set
+    and print a verdict per package.
+
+``rulellm evaluate``
+    Regenerate the paper's headline comparison (Table VIII) at a chosen
+    corpus scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core import RuleLLM, RuleLLMConfig
+from repro.core.rules import GeneratedRuleSet
+from repro.corpus import DatasetConfig, build_dataset
+from repro.evaluation.detector import RuleScanner
+from repro.evaluation.experiments import ExperimentSuite
+from repro.extraction.unpacking import load_package_from_directory
+
+
+def _add_generate(subparsers) -> None:
+    parser = subparsers.add_parser("generate", help="generate YARA & Semgrep rules")
+    parser.add_argument("--output", default="generated_rules", help="directory for the rule files")
+    parser.add_argument("--model", default="gpt-4o", help="model profile (gpt-4o, claude-3.5-sonnet, ...)")
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="synthetic corpus scale relative to the paper (default 0.05)")
+    parser.add_argument("--seed", type=int, default=1633)
+    parser.add_argument("--packages", default=None,
+                        help="directory of unpacked malicious packages to use instead of the synthetic corpus")
+
+
+def _add_scan(subparsers) -> None:
+    parser = subparsers.add_parser("scan", help="scan unpacked packages with generated rules")
+    parser.add_argument("--rules", required=True, help="directory written by 'rulellm generate'")
+    parser.add_argument("targets", nargs="+", help="unpacked package directories to scan")
+
+
+def _add_evaluate(subparsers) -> None:
+    parser = subparsers.add_parser("evaluate", help="regenerate the paper's Table VIII comparison")
+    parser.add_argument("--scale", type=float, default=0.05)
+    parser.add_argument("--model", default="gpt-4o")
+    parser.add_argument("--seed", type=int, default=1633)
+
+
+def _cmd_generate(args) -> int:
+    config = RuleLLMConfig.full(model=args.model, seed=args.seed)
+    pipeline = RuleLLM(config)
+    if args.packages:
+        root = Path(args.packages)
+        packages = [load_package_from_directory(path, label="malware")
+                    for path in sorted(root.iterdir()) if path.is_dir()]
+        if not packages:
+            print(f"no package directories found under {root}", file=sys.stderr)
+            return 1
+    else:
+        dataset_config = DatasetConfig(scale=args.scale, seed=args.seed)
+        packages = build_dataset(dataset_config).malware
+    print(f"generating rules from {len(packages)} malicious packages with {args.model} ...")
+    ruleset = pipeline.generate_rules(packages)
+    output = ruleset.save(args.output)
+    counts = ruleset.counts()
+    print(f"wrote {counts['yara']} YARA and {counts['semgrep']} Semgrep rules to {output}")
+    return 0
+
+
+def _cmd_scan(args) -> int:
+    ruleset = GeneratedRuleSet.load(args.rules)
+    if not ruleset.rules:
+        print(f"no rules found under {args.rules}", file=sys.stderr)
+        return 1
+    scanner = RuleScanner(
+        yara_rules=ruleset.compile_yara() if ruleset.yara_rules else None,
+        semgrep_rules=ruleset.compile_semgrep() if ruleset.semgrep_rules else None,
+    )
+    exit_code = 0
+    for target in args.targets:
+        package = load_package_from_directory(target)
+        detection = scanner.scan_package(package)
+        verdict = "MALICIOUS" if detection.match_count else "clean"
+        if detection.match_count:
+            exit_code = 2
+        matched = ", ".join(detection.matched_rules[:5]) or "-"
+        print(f"{target}: {verdict} ({detection.match_count} rules matched: {matched})")
+    return exit_code
+
+
+def _cmd_evaluate(args) -> int:
+    dataset_config = DatasetConfig(scale=args.scale, seed=args.seed)
+    if args.scale < 0.5:
+        dataset_config.benign_modules_range = (3, 6)
+        dataset_config.benign_pieces_per_module_range = (8, 16)
+    suite = ExperimentSuite(dataset_config, RuleLLMConfig.full(model=args.model, seed=args.seed))
+    print(suite.table8_baselines().render())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="rulellm", description=__doc__)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    _add_generate(subparsers)
+    _add_scan(subparsers)
+    _add_evaluate(subparsers)
+    args = parser.parse_args(argv)
+    if args.command == "generate":
+        return _cmd_generate(args)
+    if args.command == "scan":
+        return _cmd_scan(args)
+    if args.command == "evaluate":
+        return _cmd_evaluate(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

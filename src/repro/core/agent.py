@@ -1,0 +1,117 @@
+"""The alignment agent (paper Section IV-C, Figure 4).
+
+The agent owns two *tools* -- the YARA compiler and the Semgrep compiler --
+and a short-term *memory* holding the most recent compiler error messages
+(the paper keeps the two most recent ones).  Given a candidate rule it loops:
+compile; on failure, store the error, prompt the LLM with the rule, the
+analysis and the remembered errors (Table V), and retry with the model's fix.
+After five failed attempts the rule is given up on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core import prompts
+from repro.core.rules import SEMGREP_FORMAT, YARA_FORMAT
+from repro.llm import protocol
+from repro.llm.base import LLMProvider
+from repro.semgrepx.compiler import try_compile as try_compile_semgrep
+from repro.yarax.compiler import try_compile as try_compile_yara
+
+#: A compiler tool takes rule text and returns ``(ok, error_message_or_None)``.
+CompilerTool = Callable[[str], tuple[bool, str | None]]
+
+
+def yara_compiler_tool(source: str) -> tuple[bool, str | None]:
+    """Tool wrapper around the YARA compiler."""
+    ruleset, error = try_compile_yara(source)
+    return ruleset is not None, error
+
+
+def semgrep_compiler_tool(source: str) -> tuple[bool, str | None]:
+    """Tool wrapper around the Semgrep compiler."""
+    ruleset, error = try_compile_semgrep(source)
+    return ruleset is not None, error
+
+
+@dataclass
+class AgentMemory:
+    """Short-term memory of compiler observations (bounded, most recent last)."""
+
+    capacity: int = 2
+    _errors: deque[str] = field(default_factory=deque)
+
+    def observe(self, error_message: str) -> None:
+        self._errors.append(error_message)
+        while len(self._errors) > self.capacity:
+            self._errors.popleft()
+
+    def recall(self) -> list[str]:
+        return list(self._errors)
+
+    def clear(self) -> None:
+        self._errors.clear()
+
+    def __len__(self) -> int:
+        return len(self._errors)
+
+
+@dataclass
+class AlignmentOutcome:
+    """Result of aligning one rule."""
+
+    rule_text: str
+    success: bool
+    attempts: int
+    errors: list[str] = field(default_factory=list)
+
+
+class AlignmentAgent:
+    """LLM-based agent that repairs rules until they compile."""
+
+    def __init__(self, provider: LLMProvider, max_attempts: int = 5,
+                 memory_size: int = 2) -> None:
+        self.provider = provider
+        self.max_attempts = max_attempts
+        self.memory = AgentMemory(capacity=memory_size)
+        self.tools: dict[str, CompilerTool] = {
+            YARA_FORMAT: yara_compiler_tool,
+            SEMGREP_FORMAT: semgrep_compiler_tool,
+        }
+
+    def align(self, rule_text: str, rule_format: str, analysis_text: str = "") -> AlignmentOutcome:
+        """Compile-or-repair loop for one rule."""
+        if rule_format not in self.tools:
+            raise ValueError(f"no compiler tool for rule format {rule_format!r}")
+        tool = self.tools[rule_format]
+        self.memory.clear()
+        errors: list[str] = []
+        current = rule_text
+
+        ok, error = tool(current)
+        if ok:
+            return AlignmentOutcome(rule_text=current, success=True, attempts=0)
+
+        for attempt in range(1, self.max_attempts + 1):
+            assert error is not None
+            errors.append(error)
+            self.memory.observe(error)
+            request = prompts.render_fix_prompt(
+                rule_format=rule_format,
+                rule_text=current,
+                error_messages=self.memory.recall(),
+                analysis_text=analysis_text,
+            )
+            response = self.provider.complete(request)
+            fixed = protocol.extract_rule_from_completion(response.text)
+            if fixed.strip():
+                current = fixed
+            ok, error = tool(current)
+            if ok:
+                return AlignmentOutcome(rule_text=current, success=True,
+                                        attempts=attempt, errors=errors)
+        return AlignmentOutcome(rule_text=current, success=False,
+                                attempts=self.max_attempts, errors=errors)

@@ -1,0 +1,135 @@
+"""The RuleLLM orchestrator (paper Figure 3).
+
+``RuleLLM.generate_rules`` runs the complete pipeline over a list of
+malicious packages:
+
+1. knowledge extraction -- embed and cluster the packages (Section III);
+2. crafting -- coarse rules per cluster from basic units and metadata
+   (Section IV-A);
+3. refining -- merge coarse rules into scalable rules (Section IV-B);
+4. aligning -- compile-or-repair every rule with the agent (Section IV-C).
+
+The ablation arms of Table X are obtained through
+:class:`~repro.core.config.RuleLLMConfig` presets: with ``use_basic_units``
+disabled the crafting stage falls back to single-shot whole-package prompts,
+with ``use_refinement`` disabled coarse rules pass straight to alignment, and
+with ``use_alignment`` disabled broken rules are dropped instead of repaired.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.aligning import AligningStage, AlignmentReport
+from repro.core.config import RuleLLMConfig
+from repro.core.crafting import CoarseRule, CraftingStage
+from repro.core.refining import RefiningStage
+from repro.core.rules import GeneratedRule, GeneratedRuleSet
+from repro.corpus.package import Package
+from repro.extraction.clustering import ClusterResult, cluster_packages
+from repro.extraction.embedding import CodeEmbedder
+from repro.llm.base import LLMProvider
+from repro.llm.profiles import get_profile
+from repro.llm.simulated import SimulatedAnalystLLM
+
+
+@dataclass
+class PipelineRunInfo:
+    """Diagnostics of one pipeline run (inspected by experiments and examples)."""
+
+    package_count: int = 0
+    cluster_count: int = 0
+    discarded_clusters: int = 0
+    coarse_rule_count: int = 0
+    refined_rule_count: int = 0
+    alignment: AlignmentReport = field(default_factory=AlignmentReport)
+
+
+class RuleLLM:
+    """End-to-end rule generation for OSS malware."""
+
+    def __init__(self, config: RuleLLMConfig | None = None,
+                 provider: LLMProvider | None = None) -> None:
+        self.config = config or RuleLLMConfig()
+        self.provider = provider or SimulatedAnalystLLM(
+            profile=get_profile(self.config.model), seed=self.config.seed
+        )
+        self.embedder = CodeEmbedder()
+        self.crafting = CraftingStage(self.provider, self.config)
+        self.refining = RefiningStage(self.provider, self.config)
+        self.last_run: PipelineRunInfo = PipelineRunInfo()
+
+    # -- public API ----------------------------------------------------------------
+    def generate_rules(self, packages: list[Package]) -> GeneratedRuleSet:
+        """Run the full pipeline over a malware corpus."""
+        info = PipelineRunInfo(package_count=len(packages))
+        rule_set = GeneratedRuleSet(model=self.provider.model_name)
+        if not packages:
+            self.last_run = info
+            return rule_set
+
+        clusters = self._cluster(packages)
+        info.cluster_count = clusters.retained_count
+        info.discarded_clusters = len(clusters.discarded)
+
+        coarse = self._craft(clusters)
+        info.coarse_rule_count = len(coarse)
+
+        refined = self.refining.refine(coarse)
+        info.refined_rule_count = len(refined)
+
+        aligning = AligningStage(self.provider, self.config)
+        for index, refined_rule in enumerate(refined):
+            generated, ok = aligning.align(refined_rule, index)
+            if ok:
+                rule_set.add(generated)
+            else:
+                rule_set.reject(generated)
+        info.alignment = aligning.report
+        self.last_run = info
+        return rule_set
+
+    def generate_rules_for_group(self, packages: list[Package],
+                                 cluster_id: int = 0) -> GeneratedRuleSet:
+        """Generate rules from one pre-formed group of similar packages.
+
+        Used by the malware-variant experiment (Section V-B): rules are
+        generated from a couple of samples of a cluster and evaluated on the
+        remaining, unseen variants.
+        """
+        rule_set = GeneratedRuleSet(model=self.provider.model_name)
+        if not packages:
+            return rule_set
+        coarse = (self.crafting.craft_for_cluster(cluster_id, packages)
+                  if self.config.use_basic_units
+                  else self.crafting.craft_direct(cluster_id, packages[0]))
+        refined = self.refining.refine(coarse)
+        aligning = AligningStage(self.provider, self.config)
+        for index, refined_rule in enumerate(refined):
+            generated, ok = aligning.align(refined_rule, index)
+            if ok:
+                rule_set.add(generated)
+            else:
+                rule_set.reject(generated)
+        return rule_set
+
+    # -- stages ---------------------------------------------------------------------
+    def _cluster(self, packages: list[Package]) -> ClusterResult:
+        n_clusters = max(1, round(len(packages) / self.config.packages_per_cluster_hint))
+        return cluster_packages(
+            packages,
+            embedder=self.embedder,
+            n_clusters=n_clusters,
+            similarity_threshold=self.config.cluster_similarity_threshold,
+            random_seed=self.config.cluster_random_seed,
+            max_iterations=self.config.cluster_max_iterations,
+        )
+
+    def _craft(self, clusters: ClusterResult) -> list[CoarseRule]:
+        coarse: list[CoarseRule] = []
+        for cluster_id, members in enumerate(clusters.clusters):
+            if self.config.use_basic_units:
+                coarse.extend(self.crafting.craft_for_cluster(cluster_id, members))
+            else:
+                coarse.extend(self.crafting.craft_direct(cluster_id, members[0]))
+        return coarse

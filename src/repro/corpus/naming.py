@@ -1,0 +1,178 @@
+"""Package naming: popular-package list and typosquatting transforms.
+
+The paper's metadata audit (Table II) flags *typosquatting* -- a malicious
+package taking a name confusingly similar to a popular one ("reqests" for
+"requests").  This module provides the list of popular names the benign
+generator draws from and the transformations the malware generator applies to
+create squatted names.
+"""
+
+from __future__ import annotations
+
+from repro.utils.seeding import DeterministicRandom
+
+#: Popular PyPI package names (modelled on the top-downloads list the paper
+#: cites for its 500 legitimate packages).
+POPULAR_PACKAGES: tuple[str, ...] = (
+    "requests", "urllib3", "numpy", "pandas", "flask", "django", "click",
+    "pytest", "setuptools", "boto3", "botocore", "certifi", "charset-normalizer",
+    "idna", "python-dateutil", "six", "pyyaml", "cryptography", "colorama",
+    "awscli", "rsa", "pip", "wheel", "pyasn1", "jinja2", "markupsafe",
+    "attrs", "packaging", "importlib-metadata", "zipp", "typing-extensions",
+    "pytz", "jmespath", "s3transfer", "docutils", "pyparsing", "protobuf",
+    "google-api-core", "cachetools", "chardet", "websocket-client", "pillow",
+    "scipy", "matplotlib", "sqlalchemy", "tqdm", "greenlet", "werkzeug",
+    "pyjwt", "decorator", "requests-oauthlib", "oauthlib", "psutil", "tabulate",
+    "scikit-learn", "grpcio", "pygments", "httpx", "aiohttp", "fastapi",
+    "pydantic", "uvicorn", "redis", "celery", "kombu", "lxml", "beautifulsoup4",
+    "soupsieve", "openpyxl", "et-xmlfile", "paramiko", "bcrypt", "pynacl",
+    "discord-py", "python-telegram-bot", "selenium", "pyinstaller", "rich",
+    "tenacity", "more-itertools", "filelock", "virtualenv", "tox", "coverage",
+    "black", "isort", "flake8", "mypy", "toml", "tomli", "platformdirs",
+    "distlib", "identify", "pre-commit", "nodeenv", "cfgv", "pyopenssl",
+    "websockets", "multidict", "yarl", "frozenlist", "aiosignal", "async-timeout",
+)
+
+#: Short real-looking author names used by the benign generator.
+BENIGN_AUTHORS: tuple[tuple[str, str], ...] = (
+    ("Ada Lovelace", "ada@computing.example.org"),
+    ("Grace Hopper", "grace@navy.example.mil"),
+    ("Dennis Ritchie", "dmr@bell-labs.example.com"),
+    ("Barbara Liskov", "liskov@mit.example.edu"),
+    ("Guido van Rossum", "guido@python.example.org"),
+    ("Katherine Johnson", "kjohnson@nasa.example.gov"),
+    ("Donald Knuth", "knuth@stanford.example.edu"),
+    ("Radia Perlman", "radia@network.example.com"),
+    ("Ken Thompson", "ken@bell-labs.example.com"),
+    ("Frances Allen", "fallen@ibm.example.com"),
+)
+
+_KEYBOARD_NEIGHBOURS = {
+    "a": "qs", "b": "vn", "c": "xv", "d": "sf", "e": "wr", "f": "dg",
+    "g": "fh", "h": "gj", "i": "uo", "j": "hk", "k": "jl", "l": "k",
+    "m": "n", "n": "bm", "o": "ip", "p": "o", "q": "wa", "r": "et",
+    "s": "ad", "t": "ry", "u": "yi", "v": "cb", "w": "qe", "x": "zc",
+    "y": "tu", "z": "x",
+}
+
+
+def _swap_adjacent(name: str, rng: DeterministicRandom) -> str:
+    letters = [i for i in range(len(name) - 1) if name[i].isalpha() and name[i + 1].isalpha()]
+    if not letters:
+        return name + "s"
+    i = rng.choice(letters)
+    chars = list(name)
+    chars[i], chars[i + 1] = chars[i + 1], chars[i]
+    return "".join(chars)
+
+
+def _drop_character(name: str, rng: DeterministicRandom) -> str:
+    candidates = [i for i in range(len(name)) if name[i].isalpha()]
+    if len(name) <= 3 or not candidates:
+        return name + name[-1]
+    i = rng.choice(candidates)
+    return name[:i] + name[i + 1 :]
+
+
+def _double_character(name: str, rng: DeterministicRandom) -> str:
+    candidates = [i for i in range(len(name)) if name[i].isalpha()]
+    if not candidates:
+        return name + "1"
+    i = rng.choice(candidates)
+    return name[: i + 1] + name[i] + name[i + 1 :]
+
+
+def _neighbour_typo(name: str, rng: DeterministicRandom) -> str:
+    candidates = [i for i in range(len(name)) if name[i].lower() in _KEYBOARD_NEIGHBOURS]
+    if not candidates:
+        return _swap_adjacent(name, rng)
+    i = rng.choice(candidates)
+    replacement = rng.choice(_KEYBOARD_NEIGHBOURS[name[i].lower()])
+    return name[:i] + replacement + name[i + 1 :]
+
+
+def _affix(name: str, rng: DeterministicRandom) -> str:
+    affixes = ("-py", "-python", "3", "-lib", "-utils", "-dev", "-core", "2")
+    affix = rng.choice(affixes)
+    return name + affix
+
+
+def _hyphen_confusion(name: str, rng: DeterministicRandom) -> str:
+    if "-" in name:
+        return name.replace("-", "_", 1)
+    if "_" in name:
+        return name.replace("_", "-", 1)
+    if len(name) > 4:
+        split = rng.randint(2, len(name) - 2)
+        return name[:split] + "-" + name[split:]
+    return _affix(name, rng)
+
+
+_TRANSFORMS = (
+    _swap_adjacent,
+    _drop_character,
+    _double_character,
+    _neighbour_typo,
+    _affix,
+    _hyphen_confusion,
+)
+
+
+def typosquat(target: str, rng: DeterministicRandom) -> str:
+    """Return a typosquatted variant of a popular package name."""
+    transform = rng.choice(_TRANSFORMS)
+    squatted = transform(target, rng)
+    if squatted == target:
+        squatted = target + "-official"
+    return squatted
+
+
+def squat_popular(rng: DeterministicRandom) -> tuple[str, str]:
+    """Pick a popular package and return ``(squatted_name, target_name)``."""
+    target = rng.choice(POPULAR_PACKAGES)
+    return typosquat(target, rng), target
+
+
+def is_similar_to_popular(name: str) -> bool:
+    """Cheap typosquatting heuristic used by metadata auditing.
+
+    Returns True when ``name`` is within edit-distance 1-2 of (or embeds) a
+    popular package name while not being that exact name.
+    """
+    lowered = name.lower()
+    for popular in POPULAR_PACKAGES:
+        if lowered == popular:
+            return False
+    for popular in POPULAR_PACKAGES:
+        if popular in lowered and lowered != popular and len(lowered) <= len(popular) + 9:
+            return True
+        if abs(len(lowered) - len(popular)) <= 2 and _edit_distance_at_most(lowered, popular, 2):
+            return True
+    return False
+
+
+def _edit_distance_at_most(a: str, b: str, limit: int) -> bool:
+    """Banded Levenshtein check: is edit distance <= limit?"""
+    if abs(len(a) - len(b)) > limit:
+        return False
+    previous = list(range(len(b) + 1))
+    for i, ca in enumerate(a, start=1):
+        current = [i] + [0] * len(b)
+        row_min = i
+        for j, cb in enumerate(b, start=1):
+            cost = 0 if ca == cb else 1
+            current[j] = min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost)
+            row_min = min(row_min, current[j])
+        if row_min > limit:
+            return False
+        previous = current
+    return previous[len(b)] <= limit
+
+
+def random_project_name(rng: DeterministicRandom) -> str:
+    """Generate a fresh plausible (non-squatting) project name."""
+    prefixes = ("py", "fast", "easy", "micro", "auto", "smart", "data", "net", "async", "cloud")
+    stems = ("parse", "cache", "queue", "config", "graph", "token", "stream", "vector",
+             "metric", "schema", "worker", "client", "logger", "router", "store")
+    suffixes = ("", "r", "x", "kit", "lib", "tools", "core", "io")
+    return rng.choice(prefixes) + rng.choice(stems) + rng.choice(suffixes)

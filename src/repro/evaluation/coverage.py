@@ -1,0 +1,56 @@
+"""Rule-coverage CDF (paper Figures 9 and 10).
+
+Coverage of a rule = number of malicious packages it detects.  The figures
+plot the cumulative distribution of coverage across all generated rules:
+most YARA rules are narrow (80% detect fewer than 10 packages) while Semgrep
+rules are broader.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.evaluation.per_rule import PerRuleStats
+
+
+@dataclass
+class CoverageCdf:
+    """The (coverage value, cumulative fraction of rules) series."""
+
+    points: list[tuple[int, float]] = field(default_factory=list)
+    rule_count: int = 0
+
+    def fraction_below(self, coverage: int) -> float:
+        """Fraction of rules detecting fewer than ``coverage`` packages."""
+        if not self.rule_count:
+            return 0.0
+        below = 0
+        for value, fraction in self.points:
+            if value < coverage:
+                below = fraction
+            else:
+                break
+        return below
+
+    def max_coverage(self) -> int:
+        return self.points[-1][0] if self.points else 0
+
+
+def coverage_cdf(stats: list[PerRuleStats], include_zero_match: bool = True) -> CoverageCdf:
+    """Build the empirical CDF of per-rule malware coverage."""
+    coverages = [entry.coverage for entry in stats
+                 if include_zero_match or entry.total_matches > 0]
+    coverages.sort()
+    cdf = CoverageCdf(rule_count=len(coverages))
+    if not coverages:
+        return cdf
+    total = len(coverages)
+    points: list[tuple[int, float]] = []
+    for index, value in enumerate(coverages, start=1):
+        fraction = index / total
+        if points and points[-1][0] == value:
+            points[-1] = (value, fraction)
+        else:
+            points.append((value, fraction))
+    cdf.points = points
+    return cdf

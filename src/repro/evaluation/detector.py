@@ -1,0 +1,115 @@
+"""Applying rule sets to a corpus and recording per-package detections.
+
+A :class:`RuleScanner` bundles a compiled YARA rule set and/or a compiled
+Semgrep rule set.  YARA scans the concatenated package text *plus* the
+registry-metadata JSON (metadata-derived rules match there, mirroring how the
+paper's rules fire on registry information); Semgrep scans the package's
+Python AST.  A package is classified malicious when at least
+``match_threshold`` rules fire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.corpus.package import Package
+from repro.evaluation.metrics import ConfusionMatrix
+from repro.extraction.metadata import extract_metadata
+from repro.semgrepx import CompiledSemgrepRuleSet, ScanTarget
+from repro.yarax import CompiledRuleSet
+
+
+@dataclass
+class PackageDetection:
+    """Detection outcome for a single package."""
+
+    package: str
+    actual_malicious: bool
+    yara_rules: list[str] = field(default_factory=list)
+    semgrep_rules: list[str] = field(default_factory=list)
+
+    @property
+    def matched_rules(self) -> list[str]:
+        return self.yara_rules + self.semgrep_rules
+
+    @property
+    def match_count(self) -> int:
+        return len(self.matched_rules)
+
+    def predicted(self, threshold: int = 1) -> bool:
+        return self.match_count >= threshold
+
+
+@dataclass
+class DetectionResult:
+    """Detections for a whole corpus plus aggregate metrics."""
+
+    detections: list[PackageDetection] = field(default_factory=list)
+    match_threshold: int = 1
+
+    def confusion(self, threshold: int | None = None) -> ConfusionMatrix:
+        threshold = self.match_threshold if threshold is None else threshold
+        matrix = ConfusionMatrix()
+        for detection in self.detections:
+            matrix.record(detection.actual_malicious, detection.predicted(threshold))
+        return matrix
+
+    @property
+    def metrics(self) -> ConfusionMatrix:
+        return self.confusion()
+
+    def by_package(self) -> dict[str, PackageDetection]:
+        return {detection.package: detection for detection in self.detections}
+
+    def rule_hits(self) -> dict[str, list[PackageDetection]]:
+        """Map each rule name/id to the packages it matched."""
+        hits: dict[str, list[PackageDetection]] = {}
+        for detection in self.detections:
+            for rule in detection.matched_rules:
+                hits.setdefault(rule, []).append(detection)
+        return hits
+
+
+class RuleScanner:
+    """Scan packages with compiled YARA and/or Semgrep rule sets."""
+
+    def __init__(
+        self,
+        yara_rules: CompiledRuleSet | None = None,
+        semgrep_rules: CompiledSemgrepRuleSet | None = None,
+        match_threshold: int = 1,
+        include_metadata_in_text: bool = True,
+    ) -> None:
+        if yara_rules is None and semgrep_rules is None:
+            raise ValueError("RuleScanner needs at least one rule set")
+        self.yara_rules = yara_rules
+        self.semgrep_rules = semgrep_rules
+        self.match_threshold = match_threshold
+        self.include_metadata_in_text = include_metadata_in_text
+
+    # -- scanning ------------------------------------------------------------------
+    def scan_package(self, package: Package) -> PackageDetection:
+        detection = PackageDetection(
+            package=package.identifier, actual_malicious=package.is_malicious
+        )
+        if self.yara_rules is not None and len(self.yara_rules):
+            text = package.all_text
+            if self.include_metadata_in_text:
+                text = text + "\n" + extract_metadata(package).to_json()
+            detection.yara_rules = sorted({m.rule_name for m in self.yara_rules.match(text)})
+        if self.semgrep_rules is not None and len(self.semgrep_rules):
+            target = ScanTarget.from_package(package)
+            detection.semgrep_rules = sorted(
+                {finding.rule_id for finding in self.semgrep_rules.match_target(target)}
+            )
+        return detection
+
+    def scan(self, packages: list[Package]) -> DetectionResult:
+        result = DetectionResult(match_threshold=self.match_threshold)
+        for package in packages:
+            result.detections.append(self.scan_package(package))
+        return result
+
+    def evaluate(self, packages: list[Package]) -> ConfusionMatrix:
+        """Scan and reduce straight to a confusion matrix."""
+        return self.scan(packages).confusion()

@@ -1,0 +1,472 @@
+"""One entry point per table and figure of the paper's evaluation.
+
+:class:`ExperimentSuite` owns a corpus and a RuleLLM run and lazily caches the
+expensive intermediate products (generated rules, compiled rule sets,
+detection results) so that regenerating all tables and figures costs one
+pipeline run plus one scan per rule family.
+
+Every ``table_*`` / ``figure_*`` method returns a small result object with a
+``render()`` method that prints the regenerated values next to the numbers
+the paper reports.  The benchmark suite under ``benchmarks/`` calls exactly
+these methods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+from repro.baselines.community_rules import build_semgrep_scanner, build_yara_scanner
+from repro.baselines.score_based import ScoreBasedRuleGenerator
+from repro.categories import CATEGORIES, PAPER_TABLE_XII_COUNTS, SUBCATEGORIES
+from repro.core.config import RuleLLMConfig
+from repro.core.pipeline import RuleLLM
+from repro.core.rules import GeneratedRuleSet
+from repro.core.taxonomy import RuleTaxonomyClassifier
+from repro.corpus.dataset import Dataset, DatasetConfig, build_dataset
+from repro.evaluation.coverage import CoverageCdf, coverage_cdf
+from repro.evaluation.detector import DetectionResult, RuleScanner
+from repro.evaluation.matched_curve import MatchedCurve, matched_rule_curve
+from repro.evaluation.metrics import ConfusionMatrix
+from repro.evaluation.overlap import CategoryOverlap, category_overlap
+from repro.evaluation.per_rule import PerRuleStats, per_rule_statistics, precision_histogram
+from repro.evaluation.reporting import format_table, percent, render_histogram, render_series
+from repro.evaluation.variants import VariantDetectionResult, variant_detection_experiment
+
+#: Reference values reported by the paper (used only for side-by-side display).
+PAPER_TABLE_VIII = {
+    "RuleLLM": (0.814, 0.852, 0.918, 0.884),
+    "Yara scanner": (0.416, 0.350, 0.234, 0.280),
+    "Semgrep scanner": (0.562, 0.709, 0.320, 0.440),
+    "Score-based": (0.845, 0.478, 0.666, 0.557),
+}
+PAPER_TABLE_IX = {
+    "GPT-3.5 turbo": (0.726, 0.784, 0.680, 0.728),
+    "GPT-4o": (0.814, 0.852, 0.918, 0.884),
+    "Claude-3.5-Sonnet": (0.750, 0.773, 0.959, 0.856),
+    "Llama-3.1:70B": (0.782, 0.680, 0.726, 0.774),
+}
+PAPER_TABLE_X = {
+    "LLMs alone": (0.629, 0.568),
+    "LLM + Rule Alignment": (0.792, 0.843),
+    "LLM + Basic-unit Rule + Rule Alignment": (0.819, 0.900),
+    "LLM + Basic-unit Rule + Combination + Rule Alignment": (0.852, 0.918),
+}
+PAPER_TABLE_XI = {
+    "Yara Rule Format": (4574, 46, 452),
+    "Semgrep Rule Format": (2841, 334, 311),
+}
+PAPER_VARIANT_DETECTION = {"overall": 0.9032, "average": 0.9662}
+PAPER_TABLE_VI = {
+    "Malware": (3200, 1633, 424),
+    "Legitimate": (500, 500, 3052),
+}
+
+
+# --------------------------------------------------------------------------------------
+# result containers
+# --------------------------------------------------------------------------------------
+
+@dataclass
+class MetricsRow:
+    name: str
+    metrics: ConfusionMatrix
+    paper: tuple[float, ...] | None = None
+
+
+@dataclass
+class ComparisonResult:
+    """A table of (system -> metrics) with paper reference values."""
+
+    title: str
+    rows: list[MetricsRow] = field(default_factory=list)
+
+    def best_by_f1(self) -> str:
+        return max(self.rows, key=lambda row: row.metrics.f1).name
+
+    def row(self, name: str) -> MetricsRow:
+        for row in self.rows:
+            if row.name == name:
+                return row
+        raise KeyError(name)
+
+    def render(self) -> str:
+        table_rows = []
+        for row in self.rows:
+            paper = row.paper or ()
+            table_rows.append([
+                row.name,
+                percent(row.metrics.accuracy),
+                percent(row.metrics.precision),
+                percent(row.metrics.recall),
+                percent(row.metrics.f1),
+                " / ".join(percent(v) for v in paper) if paper else "-",
+            ])
+        return format_table(
+            ["system", "accuracy", "precision", "recall", "f1", "paper (acc/prec/rec/f1)"],
+            table_rows,
+            title=self.title,
+        )
+
+
+@dataclass
+class AblationResult:
+    title: str
+    rows: list[MetricsRow] = field(default_factory=list)
+
+    def render(self) -> str:
+        table_rows = []
+        for row in self.rows:
+            paper = row.paper or ()
+            table_rows.append([
+                row.name,
+                percent(row.metrics.precision),
+                percent(row.metrics.recall),
+                " / ".join(percent(v) for v in paper) if paper else "-",
+            ])
+        return format_table(["approach", "precision", "recall", "paper (prec/rec)"],
+                            table_rows, title=self.title)
+
+
+@dataclass
+class DatasetTableResult:
+    title: str
+    rows: list[tuple[str, int, int, float]] = field(default_factory=list)
+
+    def render(self) -> str:
+        table_rows = []
+        for name, total, unique, avg_loc in self.rows:
+            paper = PAPER_TABLE_VI.get(name, ("-", "-", "-"))
+            table_rows.append([name, total, unique, f"{avg_loc:.0f}",
+                               f"{paper[0]} / {paper[1]} / {paper[2]}"])
+        return format_table(
+            ["category", "pkg num", "deduplicated", "avg LoC", "paper (pkg/dedup/LoC)"],
+            table_rows, title=self.title,
+        )
+
+
+@dataclass
+class RuleCountResult:
+    title: str
+    yara_generated: int = 0
+    semgrep_generated: int = 0
+
+    def render(self) -> str:
+        rows = [
+            ["Yara Rule Format", PAPER_TABLE_XI["Yara Rule Format"][0],
+             PAPER_TABLE_XI["Yara Rule Format"][1], self.yara_generated,
+             PAPER_TABLE_XI["Yara Rule Format"][2]],
+            ["Semgrep Rule Format", PAPER_TABLE_XI["Semgrep Rule Format"][0],
+             PAPER_TABLE_XI["Semgrep Rule Format"][1], self.semgrep_generated,
+             PAPER_TABLE_XI["Semgrep Rule Format"][2]],
+        ]
+        return format_table(
+            ["category", "SOTA all rules", "SOTA OSS rules", "RuleLLM (this run)", "RuleLLM (paper)"],
+            rows, title=self.title,
+        )
+
+
+@dataclass
+class TaxonomyResult:
+    title: str
+    counts: dict[str, dict[str, int]] = field(default_factory=dict)
+
+    @property
+    def total_labels(self) -> int:
+        return sum(count for subs in self.counts.values() for count in subs.values())
+
+    def category_totals(self) -> dict[str, int]:
+        return {category: sum(subs.values()) for category, subs in self.counts.items()}
+
+    def render(self) -> str:
+        rows = []
+        for category in CATEGORIES:
+            for subcategory in SUBCATEGORIES[category]:
+                generated = self.counts.get(category, {}).get(subcategory, 0)
+                paper = PAPER_TABLE_XII_COUNTS[category][subcategory]
+                rows.append([category, subcategory, generated, paper])
+        return format_table(["category", "subcategory", "rules (this run)", "rules (paper)"],
+                            rows, title=self.title)
+
+
+@dataclass
+class CurveResult:
+    title: str
+    curve: MatchedCurve = field(default_factory=MatchedCurve)
+
+    def render(self) -> str:
+        rows = [[point.matched_rules, percent(point.accuracy), percent(point.precision),
+                 percent(point.recall), percent(point.f1)] for point in self.curve.points]
+        return format_table(["matched rules >=", "accuracy", "precision", "recall", "f1"],
+                            rows, title=self.title)
+
+
+@dataclass
+class HistogramResult:
+    title: str
+    series: list[tuple[str, int]] = field(default_factory=list)
+    zero_match_rules: int = 0
+    high_precision_rules: int = 0
+
+    def render(self) -> str:
+        body = render_histogram(self.series, title=self.title)
+        return (f"{body}\n  rules with no matches: {self.zero_match_rules}"
+                f"\n  rules with precision >= 0.95: {self.high_precision_rules}")
+
+
+@dataclass
+class CdfResult:
+    title: str
+    cdf: CoverageCdf = field(default_factory=CoverageCdf)
+
+    def render(self) -> str:
+        sampled = self.cdf.points[:: max(1, len(self.cdf.points) // 12)] or self.cdf.points
+        body = render_series(sampled, title=self.title, value_format="{:.2f}")
+        below10 = self.cdf.fraction_below(10)
+        return f"{body}\n  fraction of rules covering < 10 packages: {below10:.2f}"
+
+
+@dataclass
+class OverlapResult:
+    title: str
+    overlap: CategoryOverlap = field(default_factory=CategoryOverlap)
+
+    def render(self) -> str:
+        headers = ["category"] + [str(i) for i in range(len(CATEGORIES))]
+        rows = []
+        for i, category in enumerate(CATEGORIES):
+            rows.append([f"{i}. {category[:28]}"] + [str(v) for v in self.overlap.matrix[i]])
+        top = self.overlap.most_overlapping_pairs(5)
+        top_text = "\n".join(f"  {a} <-> {b}: {count}" for a, b, count in top)
+        return format_table(headers, rows, title=self.title) + "\n\nlargest overlaps:\n" + top_text
+
+
+@dataclass
+class VariantResult:
+    title: str
+    result: VariantDetectionResult = field(default_factory=VariantDetectionResult)
+
+    def render(self) -> str:
+        return (f"{self.title}\n"
+                f"  groups evaluated: {len(self.result.groups)}\n"
+                f"  overall detection rate: {percent(self.result.overall_detection_rate)} "
+                f"(paper: {percent(PAPER_VARIANT_DETECTION['overall'])})\n"
+                f"  average detection rate: {percent(self.result.average_detection_rate)} "
+                f"(paper: {percent(PAPER_VARIANT_DETECTION['average'])})")
+
+
+# --------------------------------------------------------------------------------------
+# the suite
+# --------------------------------------------------------------------------------------
+
+class ExperimentSuite:
+    """Regenerate the paper's tables and figures on a (possibly scaled) corpus."""
+
+    def __init__(self, dataset_config: DatasetConfig | None = None,
+                 rulellm_config: RuleLLMConfig | None = None) -> None:
+        self.dataset_config = dataset_config or DatasetConfig.medium()
+        self.rulellm_config = rulellm_config or RuleLLMConfig.full()
+
+    # -- cached intermediates ------------------------------------------------------
+    @cached_property
+    def dataset(self) -> Dataset:
+        return build_dataset(self.dataset_config)
+
+    @cached_property
+    def ruleset(self) -> GeneratedRuleSet:
+        pipeline = RuleLLM(self.rulellm_config)
+        return pipeline.generate_rules(self.dataset.malware)
+
+    @cached_property
+    def detection(self) -> DetectionResult:
+        scanner = RuleScanner(
+            yara_rules=self.ruleset.compile_yara(),
+            semgrep_rules=self.ruleset.compile_semgrep(),
+        )
+        return scanner.scan(self.dataset.packages)
+
+    @cached_property
+    def yara_detection(self) -> DetectionResult:
+        scanner = RuleScanner(yara_rules=self.ruleset.compile_yara())
+        return scanner.scan(self.dataset.packages)
+
+    @cached_property
+    def semgrep_detection(self) -> DetectionResult:
+        scanner = RuleScanner(semgrep_rules=self.ruleset.compile_semgrep())
+        return scanner.scan(self.dataset.packages)
+
+    @cached_property
+    def yara_rule_stats(self) -> list[PerRuleStats]:
+        names = self.ruleset.compile_yara().rule_names()
+        return per_rule_statistics(self.yara_detection, names)
+
+    @cached_property
+    def semgrep_rule_stats(self) -> list[PerRuleStats]:
+        names = self.ruleset.compile_semgrep().rule_ids()
+        return per_rule_statistics(self.semgrep_detection, names)
+
+    @cached_property
+    def taxonomy(self) -> RuleTaxonomyClassifier:
+        return RuleTaxonomyClassifier()
+
+    # -- Table VI ---------------------------------------------------------------------
+    def table6_dataset(self) -> DatasetTableResult:
+        stats = self.dataset.statistics()
+        return DatasetTableResult(title="Table VI: dataset statistics", rows=stats.rows())
+
+    # -- Table VIII --------------------------------------------------------------------
+    def table8_baselines(self) -> ComparisonResult:
+        result = ComparisonResult(title="Table VIII: RuleLLM vs baselines")
+        result.rows.append(MetricsRow("RuleLLM", self.detection.metrics,
+                                      PAPER_TABLE_VIII["RuleLLM"]))
+
+        yara_scanner = build_yara_scanner()
+        scanner = RuleScanner(yara_rules=yara_scanner.yara)
+        result.rows.append(MetricsRow("Yara scanner", scanner.evaluate(self.dataset.packages),
+                                      PAPER_TABLE_VIII["Yara scanner"]))
+
+        semgrep_scanner = build_semgrep_scanner()
+        scanner = RuleScanner(semgrep_rules=semgrep_scanner.semgrep)
+        result.rows.append(MetricsRow("Semgrep scanner", scanner.evaluate(self.dataset.packages),
+                                      PAPER_TABLE_VIII["Semgrep scanner"]))
+
+        score_based = ScoreBasedRuleGenerator().generate(self.dataset.malware, self.dataset.benign)
+        compiled = score_based.compile()
+        if len(compiled):
+            scanner = RuleScanner(yara_rules=compiled)
+            metrics = scanner.evaluate(self.dataset.packages)
+        else:
+            metrics = ConfusionMatrix()
+        result.rows.append(MetricsRow("Score-based", metrics, PAPER_TABLE_VIII["Score-based"]))
+        return result
+
+    # -- Table IX -----------------------------------------------------------------------
+    def table9_llms(self, models: tuple[str, ...] = ("gpt-3.5-turbo", "gpt-4o",
+                                                     "claude-3.5-sonnet", "llama-3.1-70b")) -> ComparisonResult:
+        paper_names = {
+            "gpt-3.5-turbo": "GPT-3.5 turbo",
+            "gpt-4o": "GPT-4o",
+            "claude-3.5-sonnet": "Claude-3.5-Sonnet",
+            "llama-3.1-70b": "Llama-3.1:70B",
+        }
+        result = ComparisonResult(title="Table IX: rules generated by different LLMs")
+        for model in models:
+            config = RuleLLMConfig.full(model=model, seed=self.rulellm_config.seed)
+            ruleset = RuleLLM(config).generate_rules(self.dataset.malware)
+            scanner = RuleScanner(yara_rules=ruleset.compile_yara(),
+                                  semgrep_rules=ruleset.compile_semgrep())
+            metrics = scanner.evaluate(self.dataset.packages)
+            display = paper_names.get(model, model)
+            result.rows.append(MetricsRow(display, metrics, PAPER_TABLE_IX.get(display)))
+        return result
+
+    # -- Table X -------------------------------------------------------------------------
+    def table10_ablation(self) -> AblationResult:
+        arms = [
+            ("LLMs alone", RuleLLMConfig.llm_alone(self.rulellm_config.model,
+                                                   self.rulellm_config.seed)),
+            ("LLM + Rule Alignment", RuleLLMConfig.llm_with_alignment(
+                self.rulellm_config.model, self.rulellm_config.seed)),
+            ("LLM + Basic-unit Rule + Rule Alignment", RuleLLMConfig.basic_units_with_alignment(
+                self.rulellm_config.model, self.rulellm_config.seed)),
+            ("LLM + Basic-unit Rule + Combination + Rule Alignment", RuleLLMConfig.full(
+                self.rulellm_config.model, self.rulellm_config.seed)),
+        ]
+        result = AblationResult(title="Table X: ablation of RuleLLM components")
+        for name, config in arms:
+            ruleset = RuleLLM(config).generate_rules(self.dataset.malware)
+            yara = ruleset.compile_yara()
+            semgrep = ruleset.compile_semgrep()
+            if len(yara) == 0 and len(semgrep) == 0:
+                metrics = ConfusionMatrix(false_negative=len(self.dataset.malware),
+                                          true_negative=len(self.dataset.benign))
+            else:
+                scanner = RuleScanner(yara_rules=yara if len(yara) else None,
+                                      semgrep_rules=semgrep if len(semgrep) else None)
+                metrics = scanner.evaluate(self.dataset.packages)
+            result.rows.append(MetricsRow(name, metrics, PAPER_TABLE_X.get(name)))
+        return result
+
+    # -- Table XI --------------------------------------------------------------------------
+    def table11_rule_counts(self) -> RuleCountResult:
+        counts = self.ruleset.counts()
+        return RuleCountResult(title="Table XI: rule inventory vs SOTA tools",
+                               yara_generated=counts["yara"],
+                               semgrep_generated=counts["semgrep"])
+
+    # -- Table XII ---------------------------------------------------------------------------
+    def table12_taxonomy(self) -> TaxonomyResult:
+        counts = self.taxonomy.subcategory_counts(self.ruleset.rules)
+        return TaxonomyResult(title="Table XII: rule taxonomy (non-exclusive)", counts=counts)
+
+    # -- Figures 5 / 6 ----------------------------------------------------------------------
+    def figure5_yara_matched_curve(self, max_threshold: int = 4) -> CurveResult:
+        curve = matched_rule_curve(self.yara_detection, max_threshold=max_threshold)
+        return CurveResult(title="Figure 5: YARA performance vs matched-rule count", curve=curve)
+
+    def figure6_semgrep_matched_curve(self, max_threshold: int = 12) -> CurveResult:
+        curve = matched_rule_curve(self.semgrep_detection, max_threshold=max_threshold)
+        return CurveResult(title="Figure 6: Semgrep performance vs matched-rule count", curve=curve)
+
+    # -- Figures 7 / 8 ------------------------------------------------------------------------
+    def figure7_yara_precision(self) -> HistogramResult:
+        histogram = precision_histogram(self.yara_rule_stats)
+        series = [(f">= {edge:.1f}", count)
+                  for edge, count in zip(histogram.bin_edges, histogram.counts)]
+        return HistogramResult(title="Figure 7: YARA per-rule precision distribution",
+                               series=series,
+                               zero_match_rules=histogram.zero_match_rules,
+                               high_precision_rules=histogram.high_precision_rules)
+
+    def figure8_semgrep_precision(self) -> HistogramResult:
+        histogram = precision_histogram(self.semgrep_rule_stats)
+        series = [(f">= {edge:.1f}", count)
+                  for edge, count in zip(histogram.bin_edges, histogram.counts)]
+        return HistogramResult(title="Figure 8: Semgrep per-rule precision distribution",
+                               series=series,
+                               zero_match_rules=histogram.zero_match_rules,
+                               high_precision_rules=histogram.high_precision_rules)
+
+    # -- Figures 9 / 10 --------------------------------------------------------------------------
+    def figure9_yara_coverage(self) -> CdfResult:
+        return CdfResult(title="Figure 9: YARA rule coverage CDF",
+                         cdf=coverage_cdf(self.yara_rule_stats))
+
+    def figure10_semgrep_coverage(self) -> CdfResult:
+        return CdfResult(title="Figure 10: Semgrep rule coverage CDF",
+                         cdf=coverage_cdf(self.semgrep_rule_stats))
+
+    # -- Figure 11 ---------------------------------------------------------------------------------
+    def figure11_overlap(self) -> OverlapResult:
+        return OverlapResult(title="Figure 11: category overlap heatmap",
+                             overlap=category_overlap(self.ruleset.rules, self.taxonomy))
+
+    # -- Section V-B: variants -----------------------------------------------------------------------
+    def variant_detection(self, max_groups: int | None = None) -> VariantResult:
+        result = variant_detection_experiment(self.dataset.malware, self.rulellm_config,
+                                              max_groups=max_groups)
+        return VariantResult(title="Malware variant detection (Section V-B)", result=result)
+
+    # -- everything -------------------------------------------------------------------------------------
+    def run_all(self, include_model_comparison: bool = False,
+                include_ablation: bool = False) -> dict[str, object]:
+        """Regenerate every artefact (the heavyweight comparisons are opt-in)."""
+        results: dict[str, object] = {
+            "table6": self.table6_dataset(),
+            "table8": self.table8_baselines(),
+            "table11": self.table11_rule_counts(),
+            "table12": self.table12_taxonomy(),
+            "fig5": self.figure5_yara_matched_curve(),
+            "fig6": self.figure6_semgrep_matched_curve(),
+            "fig7": self.figure7_yara_precision(),
+            "fig8": self.figure8_semgrep_precision(),
+            "fig9": self.figure9_yara_coverage(),
+            "fig10": self.figure10_semgrep_coverage(),
+            "fig11": self.figure11_overlap(),
+            "variants": self.variant_detection(),
+        }
+        if include_model_comparison:
+            results["table9"] = self.table9_llms()
+        if include_ablation:
+            results["table10"] = self.table10_ablation()
+        return results

@@ -1,0 +1,46 @@
+"""Category-overlap heatmap (paper Figure 11).
+
+Rules can belong to several taxonomy categories at once; the heatmap counts,
+for every pair of categories, how many rules carry both labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.categories import CATEGORIES
+from repro.core.rules import GeneratedRule
+from repro.core.taxonomy import RuleTaxonomyClassifier
+
+
+@dataclass
+class CategoryOverlap:
+    """A symmetric category x category co-occurrence matrix."""
+
+    matrix: list[list[int]] = field(default_factory=list)
+    categories: tuple[str, ...] = CATEGORIES
+
+    def value(self, category_a: str, category_b: str) -> int:
+        i = self.categories.index(category_a)
+        j = self.categories.index(category_b)
+        return self.matrix[i][j]
+
+    @property
+    def max_overlap(self) -> int:
+        return max((value for row in self.matrix for value in row), default=0)
+
+    def most_overlapping_pairs(self, top: int = 5) -> list[tuple[str, str, int]]:
+        pairs: list[tuple[str, str, int]] = []
+        for i, row in enumerate(self.matrix):
+            for j in range(i + 1, len(row)):
+                if row[j] > 0:
+                    pairs.append((self.categories[i], self.categories[j], row[j]))
+        pairs.sort(key=lambda item: -item[2])
+        return pairs[:top]
+
+
+def category_overlap(rules: list[GeneratedRule],
+                     classifier: RuleTaxonomyClassifier | None = None) -> CategoryOverlap:
+    """Compute the Figure 11 heatmap for a set of generated rules."""
+    classifier = classifier or RuleTaxonomyClassifier()
+    return CategoryOverlap(matrix=classifier.category_overlap_matrix(rules))

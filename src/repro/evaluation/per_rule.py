@@ -1,0 +1,87 @@
+"""Per-rule quality statistics (paper Figures 7 and 8, Section V-C).
+
+For every generated rule we record which packages it matched, its precision
+(malicious matches / total matches) and its coverage (number of malicious
+packages matched).  Rules that match nothing are reported separately, as the
+paper does (65 YARA and 62 Semgrep rules match no package).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.evaluation.detector import DetectionResult
+
+
+@dataclass
+class PerRuleStats:
+    """Match statistics for one rule."""
+
+    rule: str
+    malicious_matches: int = 0
+    benign_matches: int = 0
+
+    @property
+    def total_matches(self) -> int:
+        return self.malicious_matches + self.benign_matches
+
+    @property
+    def precision(self) -> float:
+        if self.total_matches == 0:
+            return 0.0
+        return self.malicious_matches / self.total_matches
+
+    @property
+    def coverage(self) -> int:
+        """Number of malicious packages detected (the paper's coverage measure)."""
+        return self.malicious_matches
+
+
+def per_rule_statistics(result: DetectionResult, rule_names: list[str]) -> list[PerRuleStats]:
+    """Compute per-rule statistics for the given rules over a detection result.
+
+    ``rule_names`` should list *all* rules in the scanned set so rules with no
+    matches still appear (with zero counts).
+    """
+    stats = {name: PerRuleStats(rule=name) for name in rule_names}
+    for rule, detections in result.rule_hits().items():
+        entry = stats.setdefault(rule, PerRuleStats(rule=rule))
+        for detection in detections:
+            if detection.actual_malicious:
+                entry.malicious_matches += 1
+            else:
+                entry.benign_matches += 1
+    return [stats[name] for name in sorted(stats)]
+
+
+@dataclass
+class PrecisionHistogram:
+    """Histogram of per-rule precision (the Figure 7 / Figure 8 series)."""
+
+    bin_edges: list[float] = field(default_factory=list)
+    counts: list[int] = field(default_factory=list)
+    zero_match_rules: int = 0
+    high_precision_rules: int = 0
+
+    def series(self) -> list[tuple[float, int]]:
+        return list(zip(self.bin_edges, self.counts))
+
+
+def precision_histogram(stats: list[PerRuleStats], bins: int = 10,
+                        high_precision_cutoff: float = 0.95) -> PrecisionHistogram:
+    """Bucket matching rules by precision (rules with zero matches counted apart)."""
+    if bins < 1:
+        raise ValueError("bins must be >= 1")
+    histogram = PrecisionHistogram(
+        bin_edges=[round(i / bins, 3) for i in range(bins)],
+        counts=[0] * bins,
+    )
+    for entry in stats:
+        if entry.total_matches == 0:
+            histogram.zero_match_rules += 1
+            continue
+        index = min(int(entry.precision * bins), bins - 1)
+        histogram.counts[index] += 1
+        if entry.precision >= high_precision_cutoff:
+            histogram.high_precision_rules += 1
+    return histogram

@@ -1,0 +1,62 @@
+"""Plain-text rendering of tables, histograms and series.
+
+The benchmark harness regenerates every table and figure of the paper; these
+helpers print them in a terminal-friendly form, with the paper's reported
+values alongside where applicable.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    """Render an aligned ASCII table."""
+    columns = len(headers)
+    cells = [[str(value) for value in row] for row in rows]
+    for row in cells:
+        if len(row) != columns:
+            raise ValueError("every row must have the same number of columns as headers")
+    widths = [len(str(header)) for header in headers]
+    for row in cells:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+
+    def render_row(values: Sequence[str]) -> str:
+        return " | ".join(value.ljust(widths[index]) for index, value in enumerate(values))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row([str(h) for h in headers]))
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in cells:
+        lines.append(render_row(row))
+    return "\n".join(lines)
+
+
+def render_histogram(series: Sequence[tuple[object, int]], title: str = "",
+                     width: int = 40) -> str:
+    """Render a horizontal bar chart for (label, count) pairs."""
+    lines = [title] if title else []
+    max_count = max((count for _label, count in series), default=0)
+    label_width = max((len(str(label)) for label, _count in series), default=1)
+    for label, count in series:
+        bar_length = int(round(width * count / max_count)) if max_count else 0
+        lines.append(f"{str(label).rjust(label_width)} | {'#' * bar_length} {count}")
+    return "\n".join(lines)
+
+
+def render_series(series: Sequence[tuple[object, float]], title: str = "",
+                  value_format: str = "{:.3f}") -> str:
+    """Render an (x, y) series as aligned text rows."""
+    lines = [title] if title else []
+    for x, y in series:
+        lines.append(f"  {str(x).rjust(8)} -> {value_format.format(y)}")
+    return "\n".join(lines)
+
+
+def percent(value: float) -> str:
+    """Format a ratio as a percentage with one decimal, like the paper."""
+    return f"{value * 100:.1f}%"

@@ -1,0 +1,125 @@
+"""Code embedding (CodeBERT substitute).
+
+The paper embeds 512-character code segments with CodeBERT and concatenates
+the segment vectors.  CodeBERT cannot be shipped offline, so we substitute a
+deterministic *lexical feature-hashing embedder*: code is tokenised, token
+unigrams and bigrams are hashed into a fixed number of buckets, and the
+resulting count vector is L2-normalised.
+
+The property the downstream pipeline relies on -- *near-identical code maps
+to nearby vectors, unrelated code maps to distant vectors* -- is preserved:
+variants of the same malware family share almost all their tokens and land in
+the same K-Means cluster, which is all Section III-B requires.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.corpus.package import Package
+from repro.extraction.snippets import SEGMENT_LENGTH, split_segments
+from repro.utils.hashing import stable_hash
+
+_FALLBACK_TOKEN_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*|\d+|[^\sA-Za-z0-9_]")
+
+
+@dataclass(frozen=True)
+class EmbeddingConfig:
+    """Configuration of the hashing embedder."""
+
+    dimensions: int = 256
+    segment_length: int = SEGMENT_LENGTH
+    use_bigrams: bool = True
+    lowercase: bool = True
+
+    def __post_init__(self) -> None:
+        if self.dimensions < 8:
+            raise ValueError("dimensions must be >= 8")
+        if self.segment_length <= 0:
+            raise ValueError("segment_length must be positive")
+
+
+def tokenize_code(text: str) -> list[str]:
+    """Tokenise Python source, falling back to a regex lexer on errors.
+
+    The paper uses the ``tokenize`` library for the same purpose; malformed
+    or obfuscated code falls back to a liberal regex split so embedding never
+    fails.
+    """
+    tokens: list[str] = []
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(text).readline):
+            if token.type in (tokenize.NEWLINE, tokenize.NL, tokenize.INDENT,
+                              tokenize.DEDENT, tokenize.ENDMARKER, tokenize.ENCODING):
+                continue
+            value = token.string.strip()
+            if value:
+                tokens.append(value)
+    except (tokenize.TokenError, IndentationError, SyntaxError, ValueError):
+        tokens = []
+    if not tokens:
+        tokens = _FALLBACK_TOKEN_RE.findall(text)
+    return tokens
+
+
+class CodeEmbedder:
+    """Deterministic hashing embedder for source code."""
+
+    def __init__(self, config: EmbeddingConfig | None = None) -> None:
+        self.config = config or EmbeddingConfig()
+
+    # -- single text ---------------------------------------------------------
+    def embed(self, text: str) -> np.ndarray:
+        """Embed one code segment into a unit-norm vector."""
+        dims = self.config.dimensions
+        vector = np.zeros(dims, dtype=np.float64)
+        tokens = tokenize_code(text)
+        if self.config.lowercase:
+            tokens = [token.lower() for token in tokens]
+        if not tokens:
+            return vector
+        for token in tokens:
+            vector[stable_hash(token, bits=32) % dims] += 1.0
+        if self.config.use_bigrams:
+            for first, second in zip(tokens, tokens[1:]):
+                vector[stable_hash(first + "\x00" + second, bits=32) % dims] += 0.5
+        norm = np.linalg.norm(vector)
+        if norm > 0:
+            vector /= norm
+        return vector
+
+    # -- segments and packages ---------------------------------------------------
+    def embed_segments(self, text: str) -> np.ndarray:
+        """Embed each fixed-length segment of ``text`` (matrix of row vectors)."""
+        segments = split_segments(text, self.config.segment_length) or [""]
+        return np.vstack([self.embed(segment) for segment in segments])
+
+    def embed_document(self, text: str) -> np.ndarray:
+        """Embed a whole document as the mean of its segment vectors.
+
+        The paper concatenates segment vectors; clustering, however, needs a
+        fixed dimensionality, so we aggregate by averaging (documented
+        substitution in DESIGN.md).  Averaging keeps near-duplicate documents
+        near-identical, which is the property K-Means grouping depends on.
+        """
+        segment_matrix = self.embed_segments(text)
+        vector = segment_matrix.mean(axis=0)
+        norm = np.linalg.norm(vector)
+        if norm > 0:
+            vector = vector / norm
+        return vector
+
+    def embed_package(self, package: Package) -> np.ndarray:
+        """Embed the concatenated source of one package."""
+        return self.embed_document(package.source_text or package.all_text)
+
+    def embed_packages(self, packages: list[Package]) -> np.ndarray:
+        """Embed several packages into a matrix of row vectors."""
+        if not packages:
+            return np.zeros((0, self.config.dimensions))
+        return np.vstack([self.embed_package(package) for package in packages])

@@ -1,0 +1,106 @@
+"""Package unpacking (paper Section III-B, "Unpacking").
+
+Real packages arrive as sdists / wheels; the paper unpacks them to a folder
+before analysis.  This module handles tar/zip archives and plain directories,
+and can also write an in-memory :class:`~repro.corpus.package.Package` to
+disk (used by the examples to produce realistic on-disk corpora).
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import tarfile
+import zipfile
+from pathlib import Path
+from typing import Iterable
+
+from repro.corpus.package import Package, PackageFile, PackageMetadata
+
+_SOURCE_EXTENSIONS = (".py", ".js", ".cfg", ".toml", ".txt", ".md", ".json", ".yaml", ".yml", "")
+_MAX_FILE_BYTES = 2_000_000
+
+
+def _is_interesting(path: str) -> bool:
+    name = os.path.basename(path)
+    if name in ("PKG-INFO", "METADATA"):
+        return True
+    _, ext = os.path.splitext(name)
+    return ext in _SOURCE_EXTENSIONS
+
+
+def _decode(raw: bytes) -> str:
+    return raw.decode("utf-8", errors="replace")
+
+
+def unpack_archive(data: bytes, archive_name: str = "package") -> list[tuple[str, str]]:
+    """Extract ``(path, content)`` pairs from a tar or zip archive in memory."""
+    files: list[tuple[str, str]] = []
+    buffer = io.BytesIO(data)
+    if zipfile.is_zipfile(buffer):
+        buffer.seek(0)
+        with zipfile.ZipFile(buffer) as archive:
+            for info in archive.infolist():
+                if info.is_dir() or info.file_size > _MAX_FILE_BYTES:
+                    continue
+                if _is_interesting(info.filename):
+                    files.append((info.filename, _decode(archive.read(info))))
+        return files
+    buffer.seek(0)
+    try:
+        with tarfile.open(fileobj=buffer, mode="r:*") as archive:
+            for member in archive.getmembers():
+                if not member.isfile() or member.size > _MAX_FILE_BYTES:
+                    continue
+                if not _is_interesting(member.name):
+                    continue
+                extracted = archive.extractfile(member)
+                if extracted is None:
+                    continue
+                files.append((member.name, _decode(extracted.read())))
+    except tarfile.TarError as exc:
+        raise ValueError(f"cannot unpack archive {archive_name!r}: {exc}") from exc
+    return files
+
+
+def write_package_to_directory(package: Package, directory: str | Path) -> Path:
+    """Write a package's files under ``directory/<name>-<version>/``."""
+    root = Path(directory) / f"{package.name}-{package.version}"
+    for item in package.files:
+        target = root / item.path
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(item.content, encoding="utf-8")
+    return root
+
+
+def load_package_from_directory(directory: str | Path, label: str = "benign") -> Package:
+    """Load a package from an unpacked directory tree."""
+    root = Path(directory)
+    if not root.is_dir():
+        raise FileNotFoundError(f"not a directory: {root}")
+    files: list[PackageFile] = []
+    for path in sorted(root.rglob("*")):
+        if not path.is_file():
+            continue
+        relative = path.relative_to(root).as_posix()
+        if not _is_interesting(relative):
+            continue
+        if path.stat().st_size > _MAX_FILE_BYTES:
+            continue
+        files.append(PackageFile(relative, path.read_text(encoding="utf-8", errors="replace")))
+    name, _, version = root.name.rpartition("-")
+    if not name:
+        name, version = root.name, "0.0.0"
+    package = Package(
+        name=name,
+        version=version or "0.0.0",
+        metadata=PackageMetadata(name=name, version=version or "0.0.0"),
+        files=files,
+        label=label,
+    )
+    return package
+
+
+def write_corpus(packages: Iterable[Package], directory: str | Path) -> list[Path]:
+    """Write several packages to disk, returning the created roots."""
+    return [write_package_to_directory(package, directory) for package in packages]

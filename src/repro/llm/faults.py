@@ -1,0 +1,183 @@
+"""Fault injection and rule repair.
+
+LLMs "introduce errors or hallucinations in the generated outputs" (paper
+Section IV-A); the alignment agent exists to repair them.  This module
+provides both halves for the simulated provider:
+
+* :class:`FaultInjector` corrupts a syntactically valid rule in the ways the
+  paper's Table V enumerates (missing parts, syntax errors, undefined strings
+  in conditions, regex issues, invalid fields, encoding problems);
+* :class:`RuleRepairer` applies the deterministic fixes a competent model
+  would produce when shown the compiler's error message.
+
+Both are driven by the model profile: the syntax-error rate controls how
+often faults appear, the fix-success rate controls how often a repair attempt
+actually lands.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.utils.seeding import DeterministicRandom
+
+# -- YARA fault kinds (mirror Table V's instruction list) -----------------------
+YARA_FAULTS = (
+    "missing_condition",
+    "undefined_string",
+    "unbalanced_brace",
+    "bad_regex",
+    "unterminated_string",
+    "invalid_meta",
+)
+
+SEMGREP_FAULTS = (
+    "missing_message",
+    "invalid_severity",
+    "bad_pattern_syntax",
+    "bad_regex",
+    "broken_yaml",
+)
+
+
+class FaultInjector:
+    """Deterministically corrupt rule text the way a careless LLM would."""
+
+    def __init__(self, rng: DeterministicRandom) -> None:
+        self._rng = rng
+
+    # -- YARA ---------------------------------------------------------------
+    def corrupt_yara(self, source: str) -> str:
+        fault = self._rng.choice(list(YARA_FAULTS))
+        return self.apply_yara_fault(source, fault)
+
+    def apply_yara_fault(self, source: str, fault: str) -> str:
+        if fault == "missing_condition":
+            return re.sub(r"\n\s*condition:\s*\n[^\n]*\n", "\n", source)
+        if fault == "undefined_string":
+            return re.sub(r"condition:\n(\s*)(.+)", r"condition:\n\1\2 and $missing_str", source, count=1)
+        if fault == "unbalanced_brace":
+            index = source.rfind("}")
+            return source[:index] + source[index + 1 :] if index != -1 else source + "}"
+        if fault == "bad_regex":
+            if "= /" in source:
+                return source.replace("= /", "= /([", 1)
+            return re.sub(r'strings:\n', 'strings:\n        $broken = /([A-Z/\n', source, count=1)
+        if fault == "unterminated_string":
+            match = re.search(r'= "([^"\n]*)"', source)
+            if match:
+                return source[: match.end() - 1] + source[match.end():]
+            return source
+        if fault == "invalid_meta":
+            return re.sub(r"meta:\n", "meta:\n        severity = high-risk\n", source, count=1)
+        raise ValueError(f"unknown YARA fault kind: {fault}")
+
+    # -- Semgrep -------------------------------------------------------------
+    def corrupt_semgrep(self, yaml_text: str) -> str:
+        fault = self._rng.choice(list(SEMGREP_FAULTS))
+        return self.apply_semgrep_fault(yaml_text, fault)
+
+    def apply_semgrep_fault(self, yaml_text: str, fault: str) -> str:
+        if fault == "missing_message":
+            # drop the message scalar including any folded continuation lines
+            return re.sub(r"\n\s*message:[^\n]*(\n\s{4,}[^\n:]*)*", "", yaml_text, count=1)
+        if fault == "invalid_severity":
+            return re.sub(r"severity:\s*\w+", "severity: CRITICAL", yaml_text, count=1)
+        if fault == "bad_pattern_syntax":
+            return re.sub(r"pattern: (.+)", r"pattern: \1((", yaml_text, count=1)
+        if fault == "bad_regex":
+            if "pattern-regex:" in yaml_text:
+                return re.sub(r"pattern-regex: (.+)", r"pattern-regex: '[unclosed'", yaml_text, count=1)
+            return yaml_text.rstrip() + "\n    pattern-regex: '[unclosed'\n"
+        if fault == "broken_yaml":
+            return yaml_text.replace("rules:", "rules:\n  - : :", 1)
+        raise ValueError(f"unknown Semgrep fault kind: {fault}")
+
+
+class RuleRepairer:
+    """Deterministic error-message-driven repairs (the model's 'fix' skill)."""
+
+    # -- YARA ---------------------------------------------------------------
+    @staticmethod
+    def repair_yara(source: str, error_message: str) -> str:
+        message = error_message.lower()
+        repaired = source
+        if "undefined string" in message:
+            # fall back to the safest condition over the defined strings
+            repaired = re.sub(r"condition:\n\s*.+", "condition:\n        any of them", repaired)
+        if "missing condition" in message or "expected 'condition'" in message:
+            if "condition:" not in repaired:
+                closing = repaired.rfind("}")
+                insert = "    condition:\n        any of them\n"
+                repaired = repaired[:closing] + insert + repaired[closing:]
+        if "unterminated string" in message:
+            repaired = RuleRepairer._close_unterminated_quotes(repaired)
+        if "regular expression" in message or "regex" in message:
+            # drop regex strings entirely and rely on the plain strings
+            repaired = re.sub(r"\n\s*\$\w+\s*=\s*/[^\n]*", "", repaired)
+            if "strings:" in repaired and not re.search(r"\$\w+\s*=", repaired):
+                repaired = repaired.replace(
+                    "strings:", 'strings:\n        $fallback = "malicious"', 1
+                )
+        if "expected '}'" in message or "unexpected end of file" in message or "but found" in message:
+            repaired = RuleRepairer._balance_braces(repaired)
+        if "meta" in message and "invalid" in message:
+            repaired = re.sub(r"\n\s*severity = [^\n\"]+", "\n        severity = \"high\"", repaired)
+        if "unreferenced string" in message:
+            repaired = re.sub(r"condition:\n\s*.+", "condition:\n        any of them", repaired)
+        return repaired
+
+    @staticmethod
+    def _balance_braces(source: str) -> str:
+        opening = source.count("{")
+        closing = source.count("}")
+        if opening > closing:
+            return source.rstrip() + "\n" + "}" * (opening - closing) + "\n"
+        if closing > opening:
+            extra = closing - opening
+            out = source
+            for _ in range(extra):
+                index = out.rfind("}")
+                out = out[:index] + out[index + 1 :]
+            return out
+        return source
+
+    @staticmethod
+    def _close_unterminated_quotes(source: str) -> str:
+        lines = []
+        for line in source.splitlines():
+            if line.count('"') % 2 == 1:
+                line = line + '"'
+            lines.append(line)
+        return "\n".join(lines) + "\n"
+
+    # -- Semgrep -------------------------------------------------------------
+    @staticmethod
+    def repair_semgrep(yaml_text: str, error_message: str) -> str:
+        message = error_message.lower()
+        repaired = yaml_text
+        if "message" in message and "missing" in message:
+            repaired = re.sub(
+                r"(\n-\s*id:\s*\S+)",
+                r"\1\n  message: Detected suspicious behaviour",
+                repaired,
+                count=1,
+            )
+            if "message:" not in repaired:
+                repaired = re.sub(
+                    r"(\n\s*-\s*id:\s*\S+)",
+                    r"\1\n    message: Detected suspicious behaviour",
+                    repaired,
+                    count=1,
+                )
+        if "severity" in message and "invalid" in message:
+            repaired = re.sub(r"severity:\s*\w+", "severity: WARNING", repaired)
+        if "not valid python syntax" in message or "invalid pattern" in message:
+            repaired = re.sub(r"\(\(\s*$", "(...)", repaired, flags=re.MULTILINE)
+            repaired = repaired.replace("((\n", "(...)\n")
+        if "pattern-regex" in message or ("regex" in message and "invalid" in message):
+            repaired = re.sub(r"\n\s*pattern-regex: '\[unclosed'", "", repaired)
+            repaired = re.sub(r"pattern-regex: '\[([^']*)'", r"pattern-regex: '\\[\1'", repaired)
+        if "invalid yaml" in message or "mapping" in message:
+            repaired = repaired.replace("rules:\n  - : :", "rules:", 1)
+        return repaired

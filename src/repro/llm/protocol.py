@@ -1,0 +1,106 @@
+"""Prompt/response wire protocol between the pipeline and the provider.
+
+The pipeline and the model only exchange *text*.  To keep that boundary
+honest while still allowing the simulated provider to do real work, prompts
+embed their payloads between explicit section markers and completions are
+returned with equally explicit sections.  A real API-backed provider would
+simply ignore the markers; the simulated one parses them.
+
+Sections used in prompts (Tables III-V of the paper):
+
+* ``TASK`` -- one of the :data:`TASK_*` constants
+* ``FORMAT`` -- ``yara`` or ``semgrep``
+* ``SAMPLE i`` -- basic units (code or metadata JSON)
+* ``ANALYSIS`` -- a previously produced analysis document
+* ``RULE`` -- a previously produced rule
+* ``ERROR`` -- compiler error messages (alignment stage)
+* ``FEW_SHOT`` -- example rule files
+
+Sections used in completions: ``ANALYSIS`` and ``RULE``.
+"""
+
+from __future__ import annotations
+
+import re
+
+TASK_CRAFT = "craft"
+TASK_REFINE = "refine"
+TASK_FIX = "fix"
+TASK_DIRECT = "direct"
+
+FORMAT_YARA = "yara"
+FORMAT_SEMGREP = "semgrep"
+
+_SECTION_RE = re.compile(r"^===\s*(?P<name>[A-Z_]+(?:\s+\d+)?)\s*===\s*$", re.MULTILINE)
+
+
+def section(name: str, body: str) -> str:
+    """Render one delimited section."""
+    return f"=== {name} ===\n{body.rstrip()}\n"
+
+
+def parse_sections(text: str) -> dict[str, list[str]]:
+    """Split a prompt or completion into its named sections.
+
+    Returns a mapping from section name (e.g. ``"SAMPLE 1"``, ``"RULE"``) to
+    the list of bodies carrying that name, in order of appearance.  Text
+    before the first marker is stored under ``"PREAMBLE"``.
+    """
+    sections: dict[str, list[str]] = {}
+    matches = list(_SECTION_RE.finditer(text))
+    if not matches:
+        return {"PREAMBLE": [text]} if text.strip() else {}
+    preamble = text[: matches[0].start()].strip()
+    if preamble:
+        sections["PREAMBLE"] = [preamble]
+    for index, match in enumerate(matches):
+        name = re.sub(r"\s+", " ", match.group("name").strip())
+        start = match.end()
+        end = matches[index + 1].start() if index + 1 < len(matches) else len(text)
+        sections.setdefault(name, []).append(text[start:end].strip())
+    return sections
+
+
+def sections_with_prefix(sections: dict[str, list[str]], prefix: str) -> list[str]:
+    """Collect bodies of every section whose name starts with ``prefix``."""
+    bodies: list[str] = []
+    for name in sorted(sections, key=_numeric_sort_key):
+        if name.startswith(prefix):
+            bodies.extend(sections[name])
+    return bodies
+
+
+def _numeric_sort_key(name: str):
+    parts = name.rsplit(" ", 1)
+    if len(parts) == 2 and parts[1].isdigit():
+        return (parts[0], int(parts[1]))
+    return (name, 0)
+
+
+def first_section(sections: dict[str, list[str]], name: str, default: str = "") -> str:
+    bodies = sections.get(name, [])
+    return bodies[0] if bodies else default
+
+
+def render_completion(analysis_text: str, rule_text: str) -> str:
+    """Render a completion carrying an analysis document and a rule."""
+    parts = []
+    if analysis_text:
+        parts.append(section("ANALYSIS", analysis_text))
+    parts.append(section("RULE", rule_text))
+    return "\n".join(parts)
+
+
+def extract_rule_from_completion(text: str) -> str:
+    """Pull the rule body out of a completion (tolerates missing markers)."""
+    sections = parse_sections(text)
+    rule = first_section(sections, "RULE")
+    if rule:
+        return rule
+    # Fall back: the whole completion may already be a bare rule.
+    return text.strip()
+
+
+def extract_analysis_from_completion(text: str) -> str:
+    sections = parse_sections(text)
+    return first_section(sections, "ANALYSIS")

@@ -1,0 +1,336 @@
+"""Rule synthesis: turning analysis findings into YARA / Semgrep rule text.
+
+This is the constructive half of the simulated analyst.  Given the behaviour
+findings for a group of similar basic units it drafts a rule the way the
+paper's prompts ask for one:
+
+* the ``strings`` section encapsulates the malicious behaviours (API calls,
+  file operations, network endpoints) -- taken from the indicator
+  catalogue's canonical signatures so the rule generalises across variants;
+* logical combinations (``any of them`` / ``N of them``) combine the
+  strings;
+* Semgrep rules prefer structural patterns (``pattern-either`` of call
+  patterns), falling back to ``pattern-regex``.
+
+Model weaknesses are injected here under control of the profile: low string
+precision adds overly generic strings (the false-positive source), and
+hallucination adds strings that exist in no sample (the zero-coverage-rule
+source the paper reports in Figures 7 and 8).
+"""
+
+from __future__ import annotations
+
+from repro.llm.analysis import BehaviorFinding
+from repro.llm.knowledge import indicator_by_key
+from repro.llm.profiles import ModelProfile
+from repro.semgrepx.loader import dump_rules_yaml
+from repro.semgrepx.rule import SemgrepRuleBuilder
+from repro.utils.seeding import DeterministicRandom
+from repro.utils.text import safe_identifier
+from repro.yarax.serializer import YaraRuleBuilder
+
+#: Overly generic strings a sloppy analyst puts into rules.  They are common
+#: in legitimate code, so rules carrying them produce false positives.
+GENERIC_BAIT_STRINGS = (
+    "requests.get(",
+    "os.environ",
+    "subprocess.run(",
+    "base64.b64decode(",
+)
+
+#: Strings a hallucinating analyst invents; they occur in no sample, so rules
+#: built only from them match nothing (zero-coverage rules).
+HALLUCINATED_STRINGS = (
+    "xmrig --donate-level=0",
+    "minerd -a cryptonight",
+    "sqlmap --dump-all",
+    "meterpreter_reverse_https",
+    "mimikatz.exe sekurlsa",
+    "eternalblue_exploit_module",
+)
+
+MAX_YARA_STRINGS = 8
+MAX_SEMGREP_PATTERNS = 6
+
+
+def _specificity_floor(profile: ModelProfile) -> float:
+    """Minimum indicator specificity a profile puts into a rule.
+
+    Disciplined analysts (high string precision) only keep strings that are
+    unlikely to appear in benign code; sloppier ones also keep generic idioms
+    like ``os.system(`` or ``subprocess.run(`` which later false-positive.
+    """
+    return 0.62 * profile.string_precision
+
+
+def rule_name_for(findings: list[BehaviorFinding], kind: str, salt: str) -> str:
+    """Derive a stable, descriptive rule identifier."""
+    if findings:
+        dominant = max(findings, key=lambda f: f.specificity)
+        stem = dominant.subcategory
+    else:
+        stem = "suspicious_package"
+    stem = safe_identifier(stem.lower().replace(" ", "_").replace("/", "_"))
+    suffix = safe_identifier(salt)[:8]
+    if kind == "yara":
+        return f"MAL_{stem}_{suffix}"
+    return f"detect-{stem.replace('_', '-')}-{suffix}".lower()
+
+
+def _ordered_findings(findings: list[BehaviorFinding]) -> list[BehaviorFinding]:
+    return sorted(findings, key=lambda f: (-f.specificity, f.indicator_key))
+
+
+# -- YARA -----------------------------------------------------------------------
+
+def synthesize_yara(
+    findings: list[BehaviorFinding],
+    rule_name: str,
+    profile: ModelProfile,
+    rng: DeterministicRandom,
+    analysis_note: str = "",
+) -> str:
+    """Draft a YARA rule from findings, applying profile-driven weaknesses."""
+    builder = YaraRuleBuilder(rule_name)
+    descriptions = sorted({finding.description for finding in findings})[:3]
+    builder.meta("description", "; ".join(descriptions) or "suspicious OSS package behaviour")
+    builder.meta("author", profile.display_name)
+    builder.meta("generator", "RuleLLM")
+    if analysis_note:
+        builder.meta("analysis", analysis_note[:120])
+    if findings:
+        builder.tags = sorted({safe_identifier(f.audit_category) for f in findings})[:3]
+
+    specific_count = 0
+    seen_values: set[str] = set()
+    floor = _specificity_floor(profile)
+    usable = [finding for finding in _ordered_findings(findings) if finding.specificity >= floor]
+    for finding in usable:
+        if builder.string_count >= MAX_YARA_STRINGS:
+            break
+        indicator = _safe_indicator(finding.indicator_key)
+        use_regex = (
+            indicator is not None
+            and indicator.regex_signature is not None
+            and rng.coin(0.3)
+        )
+        if use_regex:
+            value = indicator.regex_signature
+            if value not in seen_values:
+                builder.regex_string(value)
+                seen_values.add(value)
+        else:
+            for evidence in finding.evidence[:2]:
+                if evidence and evidence not in seen_values and builder.string_count < MAX_YARA_STRINGS:
+                    builder.text_string(evidence)
+                    seen_values.add(evidence)
+        if finding.specificity >= 0.75:
+            specific_count += 1
+
+    # weakness 1: overly generic strings from a sloppy analyst
+    if not rng.coin(profile.string_precision):
+        for _ in range(rng.randint(1, 2)):
+            bait = rng.choice(list(GENERIC_BAIT_STRINGS))
+            if bait not in seen_values:
+                builder.text_string(bait)
+                seen_values.add(bait)
+
+    # weakness 2: hallucinated indicators that exist in no sample
+    if rng.coin(profile.hallucination_rate):
+        invented = rng.choice(list(HALLUCINATED_STRINGS))
+        if invented not in seen_values:
+            builder.text_string(invented)
+            seen_values.add(invented)
+
+    if builder.string_count == 0:
+        # nothing concrete was extracted -- produce a (useless but valid)
+        # hallucinated rule, mirroring the zero-match rules the paper reports
+        builder.text_string(rng.choice(list(HALLUCINATED_STRINGS)))
+
+    if specific_count >= 3 and builder.string_count >= 4 and rng.coin(0.45):
+        builder.condition_n_of_them(2)
+    else:
+        builder.condition_any_of_them()
+    return builder.to_source()
+
+
+# -- Semgrep -----------------------------------------------------------------------
+
+def synthesize_semgrep(
+    findings: list[BehaviorFinding],
+    rule_id: str,
+    profile: ModelProfile,
+    rng: DeterministicRandom,
+) -> str:
+    """Draft a Semgrep rule (YAML document) from findings."""
+    builder = SemgrepRuleBuilder(rule_id)
+    descriptions = sorted({finding.description for finding in findings})[:2]
+    builder.set_message("Detected " + ("; ".join(descriptions) or "suspicious package behaviour"))
+    builder.meta("generator", "RuleLLM")
+    builder.meta("model", profile.display_name)
+    categories = sorted({finding.category for finding in findings})
+    if categories:
+        builder.meta("category", categories[0])
+    severity_pool = ("ERROR", "WARNING")
+    builder.severity = severity_pool[0] if any(f.specificity > 0.9 for f in findings) else severity_pool[1]
+
+    added_patterns: set[str] = set()
+    regex_parts: list[str] = []
+    floor = _specificity_floor(profile)
+    usable = [finding for finding in _ordered_findings(findings) if finding.specificity >= floor]
+    for finding in usable:
+        if len(added_patterns) >= MAX_SEMGREP_PATTERNS:
+            break
+        indicator = _safe_indicator(finding.indicator_key)
+        if indicator is not None and indicator.semgrep_pattern:
+            if indicator.semgrep_pattern not in added_patterns:
+                builder.either_pattern(indicator.semgrep_pattern)
+                added_patterns.add(indicator.semgrep_pattern)
+        elif indicator is not None:
+            regex_parts.append(indicator.regex_signature or _escape_regex(indicator.signature))
+        else:
+            for evidence in finding.evidence[:1]:
+                regex_parts.append(_escape_regex(evidence))
+
+    # weakness: a sloppy analyst writes an overly broad structural pattern
+    if not rng.coin(profile.string_precision):
+        broad = rng.choice((
+            "requests.get($URL, ...)", "os.environ", "subprocess.run($CMD, ...)",
+            "base64.b64decode($X)",
+        ))
+        if broad not in added_patterns:
+            builder.either_pattern(broad)
+            added_patterns.add(broad)
+
+    if rng.coin(profile.hallucination_rate):
+        regex_parts = [_escape_regex(rng.choice(list(HALLUCINATED_STRINGS)))]
+
+    if regex_parts:
+        builder.regex("|".join(sorted(set(regex_parts))[:4]))
+
+    if builder.pattern_count == 0:
+        builder.regex(_escape_regex(rng.choice(list(HALLUCINATED_STRINGS))))
+
+    return dump_rules_yaml([builder.build()])
+
+
+# -- merging (refinement stage) ------------------------------------------------------
+
+def merge_yara_sources(
+    sources: list[str],
+    merged_name: str,
+    profile: ModelProfile,
+    rng: DeterministicRandom,
+) -> str:
+    """Merge several coarse YARA rules into one scalable rule (Section IV-B)."""
+    from repro.yarax import parse_source  # local import to avoid cycles at module load
+
+    collected: list[tuple[str, str, tuple[str, ...]]] = []  # (kind, value, modifiers)
+    descriptions: list[str] = []
+    tags: set[str] = set()
+    for source in sources:
+        try:
+            rules = parse_source(source)
+        except Exception:
+            continue
+        for rule in rules:
+            description = rule.meta.get("description")
+            if isinstance(description, str) and description:
+                descriptions.append(description)
+            tags.update(rule.tags)
+            for definition in rule.strings:
+                collected.append((definition.kind, definition.value, definition.modifiers))
+
+    builder = YaraRuleBuilder(merged_name)
+    builder.meta("description", "; ".join(sorted(set(descriptions))[:3]) or "merged RuleLLM rule")
+    builder.meta("author", profile.display_name)
+    builder.meta("generator", "RuleLLM")
+    builder.tags = sorted(tags)[:3]
+
+    deduplicate = rng.coin(profile.refine_quality)
+    seen: set[tuple[str, str]] = set()
+    for kind, value, modifiers in collected:
+        if builder.string_count >= MAX_YARA_STRINGS:
+            break
+        key = (kind, value)
+        if deduplicate and key in seen:
+            continue
+        seen.add(key)
+        if kind == "regex":
+            builder.regex_string(value)
+        elif kind == "hex":
+            builder.hex_string(value)
+        else:
+            builder.text_string(value, nocase="nocase" in modifiers)
+
+    if builder.string_count == 0:
+        builder.text_string("malicious")
+    if builder.string_count >= 5 and rng.coin(0.4):
+        builder.condition_n_of_them(2)
+    else:
+        builder.condition_any_of_them()
+    return builder.to_source()
+
+
+def merge_semgrep_sources(
+    sources: list[str],
+    merged_id: str,
+    profile: ModelProfile,
+    rng: DeterministicRandom,
+) -> str:
+    """Merge several coarse Semgrep rules into one (Section IV-B)."""
+    from repro.semgrepx.loader import load_rules_yaml  # local import to avoid cycles
+
+    builder = SemgrepRuleBuilder(merged_id)
+    messages: list[str] = []
+    severities: list[str] = []
+    patterns: list[str] = []
+    regexes: list[str] = []
+    for source in sources:
+        try:
+            rules = load_rules_yaml(source)
+        except Exception:
+            continue
+        for rule in rules:
+            messages.append(rule.message)
+            severities.append(rule.severity)
+            patterns.extend(rule.all_pattern_texts())
+            if rule.pattern_regex:
+                regexes.append(rule.pattern_regex)
+
+    builder.set_message(messages[0] if messages else "Detected suspicious package behaviour")
+    builder.severity = "ERROR" if "ERROR" in severities else "WARNING"
+    builder.meta("generator", "RuleLLM")
+    builder.meta("model", profile.display_name)
+
+    deduplicate = rng.coin(profile.refine_quality)
+    seen: set[str] = set()
+    for pattern in patterns:
+        if len(seen) >= MAX_SEMGREP_PATTERNS:
+            break
+        if deduplicate and pattern in seen:
+            continue
+        if pattern not in seen:
+            builder.either_pattern(pattern)
+        seen.add(pattern)
+    if regexes:
+        merged_regex = "|".join(sorted(set(regexes))[:3])
+        builder.regex(merged_regex)
+    if builder.pattern_count == 0:
+        builder.regex("malicious_placeholder_pattern")
+    return dump_rules_yaml([builder.build()])
+
+
+# -- helpers ------------------------------------------------------------------------
+
+def _safe_indicator(key: str):
+    try:
+        return indicator_by_key(key)
+    except KeyError:
+        return None
+
+
+def _escape_regex(text: str) -> str:
+    import re as _re
+
+    return _re.escape(text)

@@ -1,0 +1,53 @@
+"""Token counting and truncation.
+
+A faithful BPE tokenizer is unnecessary for the reproduction; what matters is
+that *long inputs overflow the context window and get truncated*, which is
+one of the paper's three technical challenges.  We approximate tokens with
+the usual "about four characters per token" heuristic, refined by counting
+whitespace-separated words and punctuation.
+"""
+
+from __future__ import annotations
+
+import re
+
+_WORD_RE = re.compile(r"\w+|[^\w\s]")
+
+#: Average characters per token used by the coarse estimator.
+CHARS_PER_TOKEN = 4.0
+
+
+def count_tokens(text: str) -> int:
+    """Estimate the number of tokens in ``text``.
+
+    The estimate blends a word/punctuation count with a character count,
+    which tracks real BPE tokenisers closely enough for context-window
+    bookkeeping on source code.
+    """
+    if not text:
+        return 0
+    pieces = len(_WORD_RE.findall(text))
+    by_chars = len(text) / CHARS_PER_TOKEN
+    return int(round(0.5 * pieces + 0.5 * by_chars)) or 1
+
+
+def truncate_to_tokens(text: str, max_tokens: int) -> tuple[str, bool]:
+    """Truncate ``text`` to roughly ``max_tokens`` tokens.
+
+    Returns the (possibly truncated) text and a flag indicating whether
+    truncation happened.  Truncation is from the end, mirroring how an API
+    client would clip an over-long prompt before sending it.
+    """
+    if max_tokens <= 0:
+        return "", bool(text)
+    if count_tokens(text) <= max_tokens:
+        return text, False
+    # binary search on character length for the largest prefix within budget
+    low, high = 0, len(text)
+    while low < high:
+        mid = (low + high + 1) // 2
+        if count_tokens(text[:mid]) <= max_tokens:
+            low = mid
+        else:
+            high = mid - 1
+    return text[:low], True

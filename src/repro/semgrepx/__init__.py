@@ -1,0 +1,47 @@
+"""Semgrep-lite engine (substrate for the paper's Semgrep dependency).
+
+Implements the subset of Semgrep the pipeline needs:
+
+* YAML rule files with ``id`` / ``languages`` / ``message`` / ``severity`` /
+  ``metadata`` and the pattern operators ``pattern``, ``patterns`` (AND),
+  ``pattern-either`` (OR), ``pattern-not`` and ``pattern-regex``
+* a pattern language over Python source with metavariables (``$X``) and the
+  ellipsis operator (``...``), matched structurally against the target's AST
+* compile-or-error semantics so the alignment agent can react to rule
+  defects, and package-level scanning for the evaluation
+
+Public entry points: :func:`compile_yaml` / :func:`compile_rules` and the
+returned :class:`~repro.semgrepx.compiler.CompiledSemgrepRuleSet`'s
+``match`` / ``match_target``.
+"""
+
+from repro.semgrepx.errors import SemgrepError, SemgrepPatternError, SemgrepRuleError
+from repro.semgrepx.rule import SemgrepRule, SemgrepRuleBuilder
+from repro.semgrepx.loader import dump_rules_yaml, load_rules_yaml
+from repro.semgrepx.pattern import Pattern
+from repro.semgrepx.matcher import ScanTarget, SemgrepFinding
+from repro.semgrepx.compiler import (
+    CompiledSemgrepRule,
+    CompiledSemgrepRuleSet,
+    compile_rules,
+    compile_yaml,
+    try_compile,
+)
+
+__all__ = [
+    "SemgrepError",
+    "SemgrepRuleError",
+    "SemgrepPatternError",
+    "SemgrepRule",
+    "SemgrepRuleBuilder",
+    "load_rules_yaml",
+    "dump_rules_yaml",
+    "Pattern",
+    "ScanTarget",
+    "SemgrepFinding",
+    "CompiledSemgrepRule",
+    "CompiledSemgrepRuleSet",
+    "compile_rules",
+    "compile_yaml",
+    "try_compile",
+]

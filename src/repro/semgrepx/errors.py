@@ -1,0 +1,33 @@
+"""Errors raised by the Semgrep-lite engine.
+
+Message phrasing mirrors ``semgrep --validate`` so the alignment agent's
+error-driven repair loop behaves like the paper describes.
+"""
+
+from __future__ import annotations
+
+
+class SemgrepError(Exception):
+    """Base class for Semgrep-lite errors."""
+
+
+class SemgrepRuleError(SemgrepError):
+    """A structural problem in a rule definition (missing keys, bad YAML...)."""
+
+    def __init__(self, message: str, rule_id: str | None = None) -> None:
+        prefix = f"rule '{rule_id}': " if rule_id else ""
+        super().__init__(f"invalid rule schema: {prefix}{message}")
+        self.rule_id = rule_id
+        self.reason = message
+
+
+class SemgrepPatternError(SemgrepError):
+    """A pattern that cannot be parsed into a matchable form."""
+
+    def __init__(self, message: str, pattern: str | None = None, rule_id: str | None = None) -> None:
+        prefix = f"rule '{rule_id}': " if rule_id else ""
+        snippet = f" in pattern: {pattern!r}" if pattern else ""
+        super().__init__(f"invalid pattern: {prefix}{message}{snippet}")
+        self.rule_id = rule_id
+        self.pattern = pattern
+        self.reason = message

@@ -1,0 +1,40 @@
+"""Loading and dumping Semgrep-lite rule files (YAML)."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import yaml
+
+from repro.semgrepx.errors import SemgrepRuleError
+from repro.semgrepx.rule import SemgrepRule
+
+
+def load_rules_yaml(text: str) -> list[SemgrepRule]:
+    """Parse a Semgrep YAML document into validated rules."""
+    if not text or not text.strip():
+        raise SemgrepRuleError("empty rule file")
+    try:
+        data = yaml.safe_load(text)
+    except yaml.YAMLError as exc:
+        raise SemgrepRuleError(f"invalid YAML: {exc}") from exc
+    if not isinstance(data, dict) or "rules" not in data:
+        raise SemgrepRuleError("top-level mapping must contain a 'rules' list")
+    entries = data["rules"]
+    if not isinstance(entries, list) or not entries:
+        raise SemgrepRuleError("'rules' must be a non-empty list")
+    rules = [SemgrepRule.from_dict(entry) for entry in entries]
+    seen: set[str] = set()
+    for rule in rules:
+        if rule.id in seen:
+            raise SemgrepRuleError("duplicate rule id", rule_id=rule.id)
+        seen.add(rule.id)
+    return rules
+
+
+def dump_rules_yaml(rules: Iterable[SemgrepRule]) -> str:
+    """Render rules as a Semgrep YAML document."""
+    document = {"rules": [rule.to_dict() for rule in rules]}
+    # a generous width keeps long rule messages on one line, which in turn keeps
+    # line-oriented fault injection / repair in the LLM substrate well-defined
+    return yaml.safe_dump(document, sort_keys=False, default_flow_style=False, width=4096)

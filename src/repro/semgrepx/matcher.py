@@ -1,0 +1,90 @@
+"""Scanning targets and findings for the Semgrep-lite engine.
+
+A :class:`ScanTarget` wraps one package (or an arbitrary set of source
+files), parses every Python file once, and builds a cheap text index used to
+skip rules whose anchors cannot possibly be present.  Rule sets then match
+against the target; results are :class:`SemgrepFinding` records.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.corpus.package import Package
+
+
+@dataclass(frozen=True)
+class SemgrepFinding:
+    """One rule firing at one location."""
+
+    rule_id: str
+    path: str
+    line: int
+    message: str
+    severity: str = "WARNING"
+    metavariables: tuple[tuple[str, str], ...] = ()
+
+
+@dataclass
+class ParsedFile:
+    """A source file parsed for structural matching."""
+
+    path: str
+    source: str
+    tree: Optional[ast.AST]
+
+    @property
+    def parse_failed(self) -> bool:
+        return self.tree is None
+
+
+@dataclass
+class ScanTarget:
+    """A set of source files prepared for repeated rule matching."""
+
+    name: str
+    files: list[ParsedFile] = field(default_factory=list)
+    _haystack: str = ""
+
+    @classmethod
+    def from_files(cls, name: str, files: Iterable[tuple[str, str]]) -> "ScanTarget":
+        parsed: list[ParsedFile] = []
+        texts: list[str] = []
+        for path, source in files:
+            tree: Optional[ast.AST]
+            try:
+                tree = ast.parse(source)
+            except (SyntaxError, ValueError):
+                tree = None
+            parsed.append(ParsedFile(path=path, source=source, tree=tree))
+            texts.append(source)
+        return cls(name=name, files=parsed, _haystack="\n".join(texts))
+
+    @classmethod
+    def from_package(cls, package: Package) -> "ScanTarget":
+        """Build a target from a package's Python source files."""
+        return cls.from_files(
+            package.identifier,
+            ((f.path, f.content) for f in package.files if f.is_python),
+        )
+
+    # -- pre-filtering ------------------------------------------------------------
+    def contains_any(self, anchors: Iterable[str]) -> bool:
+        """True when at least one anchor substring occurs in the target's text."""
+        anchors = list(anchors)
+        if not anchors:
+            return True
+        return any(anchor in self._haystack for anchor in anchors)
+
+    def contains_text(self, needle: str) -> bool:
+        return needle in self._haystack
+
+    @property
+    def parsed_files(self) -> list[ParsedFile]:
+        return [f for f in self.files if f.tree is not None]
+
+    @property
+    def text(self) -> str:
+        return self._haystack

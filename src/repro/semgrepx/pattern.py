@@ -1,0 +1,357 @@
+"""The Semgrep-lite pattern language.
+
+A pattern is a fragment of Python source that may contain *metavariables*
+(``$X``, ``$CMD``) and the *ellipsis* operator (``...``).  Matching is
+structural against the target's AST:
+
+* a metavariable matches any expression node; repeated occurrences of the
+  same metavariable must bind to structurally identical subtrees;
+* ``...`` inside a call's arguments matches any (possibly empty) run of
+  arguments; as a standalone expression it matches anything;
+* literals, names and attribute chains must match exactly;
+* keyword arguments present in the pattern must be present in the target
+  (the target may carry extra keywords, as in Semgrep).
+
+An expression pattern matches any expression node anywhere in the file; a
+statement pattern matches statements.  ``anchors()`` exposes the dotted call
+names and string literals a match necessarily requires, which the matcher
+uses to skip files that cannot possibly match.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.semgrepx.errors import SemgrepPatternError
+
+_METAVAR_RE = re.compile(r"\$([A-Z][A-Z0-9_]*)")
+_MV_PREFIX = "__semgrep_mv_"
+_ELLIPSIS_NAME = "__semgrep_ellipsis__"
+_ELLIPSIS_KWARGS = "__semgrep_ellipsis_kwargs__"
+
+
+def _encode_pattern_text(text: str) -> str:
+    """Rewrite metavariables and ellipses into parseable placeholders."""
+    encoded = _METAVAR_RE.sub(lambda m: _MV_PREFIX + m.group(1), text)
+    return encoded
+
+
+def _encode_trailing_call_ellipsis(text: str) -> str:
+    """Fallback encoding for ``f(kw=$X, ...)`` style patterns.
+
+    Python forbids a positional argument after keyword arguments, so a
+    trailing ``...`` in that position cannot be parsed directly.  Semgrep
+    permits it (meaning "and any further arguments"), which we model by
+    rewriting it into a ``**kwargs``-style wildcard the matcher understands.
+    """
+    return re.sub(r"\.\.\.(\s*[,)])", rf"**{_ELLIPSIS_KWARGS}\1", text)
+
+
+def _is_metavar(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Name) and node.id.startswith(_MV_PREFIX):
+        return node.id[len(_MV_PREFIX):]
+    return None
+
+
+def _is_ellipsis(node: ast.AST) -> bool:
+    if isinstance(node, ast.Expr):
+        node = node.value
+    return isinstance(node, ast.Constant) and node.value is Ellipsis
+
+
+@dataclass
+class MatchResult:
+    """A successful pattern match with its metavariable bindings."""
+
+    bindings: dict[str, str] = field(default_factory=dict)
+    node: ast.AST | None = None
+
+    @property
+    def line(self) -> int:
+        return getattr(self.node, "lineno", 0)
+
+
+class Pattern:
+    """A compiled Semgrep-lite pattern."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        if not text or not text.strip():
+            raise SemgrepPatternError("pattern is empty", pattern=text)
+        encoded = _encode_pattern_text(text.strip())
+        self._nodes = self._parse(encoded)
+        self.is_expression = len(self._nodes) == 1 and isinstance(self._nodes[0], ast.Expr)
+
+    # -- parsing -----------------------------------------------------------------
+    def _parse(self, encoded: str) -> list[ast.stmt]:
+        try:
+            module = ast.parse(encoded)
+        except SyntaxError as first_error:
+            # Retry with Semgrep's "trailing ellipsis after keyword arguments"
+            # form rewritten into a parseable wildcard.
+            retry = _encode_trailing_call_ellipsis(encoded)
+            if retry != encoded:
+                try:
+                    module = ast.parse(retry)
+                except SyntaxError:
+                    module = None
+            else:
+                module = None
+            if module is None:
+                raise SemgrepPatternError(
+                    f"pattern is not valid Python syntax ({first_error.msg})", pattern=self.text
+                ) from first_error
+        if not module.body:
+            raise SemgrepPatternError("pattern contains no statements", pattern=self.text)
+        return module.body
+
+    # -- anchors --------------------------------------------------------------------
+    def anchors(self) -> set[str]:
+        """Names/attribute-paths/strings that any match must contain.
+
+        Used as a fast pre-filter: if none of a pattern's anchors appear in a
+        file's text, structural matching cannot succeed and is skipped.
+        Patterns made only of metavariables/ellipses return an empty set
+        (meaning "no cheap pre-filter available").
+        """
+        found: set[str] = set()
+        for root in self._nodes:
+            for node in ast.walk(root):
+                if isinstance(node, ast.Attribute):
+                    dotted = _dotted_name(node)
+                    if dotted and not dotted.startswith(_MV_PREFIX):
+                        found.add(dotted.split(".")[-1])
+                elif isinstance(node, ast.Name):
+                    if not node.id.startswith(_MV_PREFIX) and node.id != _ELLIPSIS_NAME:
+                        found.add(node.id)
+                elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+                    if len(node.value) >= 4:
+                        found.add(node.value)
+        return found
+
+    # -- matching ----------------------------------------------------------------------
+    def match_tree(self, tree: ast.AST, max_matches: int = 200) -> list[MatchResult]:
+        """Match this pattern against every candidate node of a parsed file."""
+        results: list[MatchResult] = []
+        pattern_root = self._nodes[0]
+        if self.is_expression:
+            pattern_expr = pattern_root.value  # type: ignore[attr-defined]
+            for node in ast.walk(tree):
+                if not isinstance(node, ast.expr):
+                    continue
+                bindings: dict[str, str] = {}
+                if self._match_node(pattern_expr, node, bindings):
+                    results.append(MatchResult(bindings=bindings, node=node))
+                    if len(results) >= max_matches:
+                        return results
+        else:
+            # statement (or multi-statement) pattern: try to match the sequence
+            # starting at every statement position of every block.
+            for block in _iter_statement_blocks(tree):
+                for start in range(len(block)):
+                    bindings = {}
+                    if self._match_statements(self._nodes, block[start:], bindings):
+                        results.append(MatchResult(bindings=bindings, node=block[start]))
+                        if len(results) >= max_matches:
+                            return results
+        return results
+
+    def matches(self, tree: ast.AST) -> bool:
+        return bool(self.match_tree(tree, max_matches=1))
+
+    # -- node-level matching --------------------------------------------------------------
+    def _match_statements(self, pattern_stmts: list[ast.stmt], target_stmts: list[ast.stmt],
+                          bindings: dict[str, str]) -> bool:
+        if not pattern_stmts:
+            return True
+        head, *rest = pattern_stmts
+        if _is_ellipsis(head):
+            # ellipsis statement: skip any number of target statements
+            for skip in range(len(target_stmts) + 1):
+                trial = dict(bindings)
+                if self._match_statements(rest, target_stmts[skip:], trial):
+                    bindings.update(trial)
+                    return True
+            return False
+        if not target_stmts:
+            return False
+        trial = dict(bindings)
+        if self._match_node(head, target_stmts[0], trial):
+            if self._match_statements(rest, target_stmts[1:], trial):
+                bindings.update(trial)
+                return True
+        return False
+
+    def _match_node(self, pattern: ast.AST, target: ast.AST, bindings: dict[str, str]) -> bool:
+        # metavariable: bind to anything (consistently)
+        metavar = _is_metavar(pattern)
+        if metavar is not None:
+            rendered = ast.dump(target)
+            if metavar in bindings:
+                return bindings[metavar] == rendered
+            bindings[metavar] = rendered
+            return True
+        # ellipsis as an expression matches anything
+        if isinstance(pattern, ast.Constant) and pattern.value is Ellipsis:
+            return True
+        # string-literal wildcards: "$URL" binds to any string, "..." matches any string
+        if isinstance(pattern, ast.Constant) and isinstance(pattern.value, str):
+            if pattern.value.startswith(_MV_PREFIX):
+                if isinstance(target, ast.Constant) and isinstance(target.value, str):
+                    metavar_name = pattern.value[len(_MV_PREFIX):]
+                    if metavar_name in bindings:
+                        return bindings[metavar_name] == target.value
+                    bindings[metavar_name] = target.value
+                    return True
+                return False
+            if pattern.value == "...":
+                return isinstance(target, ast.Constant) and isinstance(target.value, str)
+        # Expr wrappers: unwrap so expression patterns match expression statements
+        if isinstance(pattern, ast.Expr) and isinstance(target, ast.Expr):
+            return self._match_node(pattern.value, target.value, bindings)
+        if type(pattern) is not type(target):
+            return False
+        if isinstance(pattern, ast.Call):
+            return self._match_call(pattern, target, bindings)
+        if isinstance(pattern, ast.Attribute):
+            return (pattern.attr == target.attr
+                    and self._match_node(pattern.value, target.value, bindings))
+        if isinstance(pattern, ast.Name):
+            return pattern.id == target.id
+        if isinstance(pattern, ast.Constant):
+            return pattern.value == target.value
+        if isinstance(pattern, ast.Assign):
+            if len(pattern.targets) != len(target.targets):
+                return False
+            return all(
+                self._match_node(p, t, bindings)
+                for p, t in zip(pattern.targets, target.targets)
+            ) and self._match_node(pattern.value, target.value, bindings)
+        if isinstance(pattern, (ast.Import, ast.ImportFrom)):
+            return self._match_import(pattern, target)
+        # generic structural comparison over child fields
+        return self._match_generic(pattern, target, bindings)
+
+    def _match_call(self, pattern: ast.Call, target: ast.Call, bindings: dict[str, str]) -> bool:
+        if not self._match_node(pattern.func, target.func, bindings):
+            return False
+        # a '**__semgrep_ellipsis_kwargs__' wildcard permits any extra arguments
+        keywords = list(pattern.keywords)
+        open_ended = False
+        for index, keyword in enumerate(keywords):
+            if keyword.arg is None and isinstance(keyword.value, ast.Name) \
+                    and keyword.value.id == _ELLIPSIS_KWARGS:
+                open_ended = True
+                keywords.pop(index)
+                break
+        if open_ended:
+            args_pattern = list(pattern.args) + [ast.Constant(value=Ellipsis)]
+        else:
+            args_pattern = list(pattern.args)
+        if not self._match_arg_list(args_pattern, target.args, bindings):
+            return False
+        # every pattern keyword must appear in the target (extra target kwargs allowed)
+        for pattern_kw in keywords:
+            matched = False
+            for target_kw in target.keywords:
+                if pattern_kw.arg == target_kw.arg and self._match_node(
+                    pattern_kw.value, target_kw.value, dict(bindings)
+                ):
+                    self._match_node(pattern_kw.value, target_kw.value, bindings)
+                    matched = True
+                    break
+            if not matched:
+                return False
+        return True
+
+    def _match_arg_list(self, pattern_args: list[ast.expr], target_args: list[ast.expr],
+                        bindings: dict[str, str]) -> bool:
+        if not pattern_args:
+            return not target_args
+        head, *rest = pattern_args
+        if isinstance(head, ast.Constant) and head.value is Ellipsis:
+            for skip in range(len(target_args) + 1):
+                trial = dict(bindings)
+                if self._match_arg_list(rest, target_args[skip:], trial):
+                    bindings.update(trial)
+                    return True
+            return False
+        if not target_args:
+            return False
+        trial = dict(bindings)
+        if self._match_node(head, target_args[0], trial) and self._match_arg_list(
+            rest, target_args[1:], trial
+        ):
+            bindings.update(trial)
+            return True
+        return False
+
+    @staticmethod
+    def _match_import(pattern: ast.AST, target: ast.AST) -> bool:
+        if isinstance(pattern, ast.Import) and isinstance(target, ast.Import):
+            pattern_names = {alias.name for alias in pattern.names}
+            target_names = {alias.name for alias in target.names}
+            return pattern_names.issubset(target_names)
+        if isinstance(pattern, ast.ImportFrom) and isinstance(target, ast.ImportFrom):
+            if pattern.module != target.module:
+                return False
+            pattern_names = {alias.name for alias in pattern.names}
+            target_names = {alias.name for alias in target.names}
+            return pattern_names.issubset(target_names)
+        return False
+
+    def _match_generic(self, pattern: ast.AST, target: ast.AST, bindings: dict[str, str]) -> bool:
+        for field_name, pattern_value in ast.iter_fields(pattern):
+            if field_name in ("lineno", "col_offset", "end_lineno", "end_col_offset", "ctx",
+                              "type_comment"):
+                continue
+            target_value = getattr(target, field_name, None)
+            if isinstance(pattern_value, ast.AST):
+                if not isinstance(target_value, ast.AST):
+                    return False
+                if not self._match_node(pattern_value, target_value, bindings):
+                    return False
+            elif isinstance(pattern_value, list):
+                if not isinstance(target_value, list):
+                    return False
+                if any(isinstance(item, ast.stmt) for item in pattern_value):
+                    if not self._match_statements(pattern_value, target_value, bindings):
+                        return False
+                else:
+                    if len(pattern_value) != len(target_value):
+                        return False
+                    for p_item, t_item in zip(pattern_value, target_value):
+                        if isinstance(p_item, ast.AST):
+                            if not self._match_node(p_item, t_item, bindings):
+                                return False
+                        elif p_item != t_item:
+                            return False
+            else:
+                if pattern_value != target_value:
+                    return False
+        return True
+
+
+def _dotted_name(node: ast.AST) -> str:
+    """Render an attribute chain like ``requests.post`` (empty if not simple)."""
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _iter_statement_blocks(tree: ast.AST):
+    """Yield every list of statements (module body, function bodies, ...)."""
+    for node in ast.walk(tree):
+        for field_name in ("body", "orelse", "finalbody", "handlers"):
+            block = getattr(node, field_name, None)
+            if isinstance(block, list) and block and isinstance(block[0], ast.stmt):
+                yield block

@@ -1,0 +1,46 @@
+"""Pure-Python YARA engine (substrate for the paper's YARA dependency).
+
+The pipeline needs two capabilities from YARA: *compiling* rules (the
+alignment agent reacts to compiler errors, paper Section IV-C) and *scanning*
+packages (the evaluation counts matches).  This subpackage implements a
+faithful subset of YARA:
+
+* rule syntax: ``rule NAME [: tags] { meta: ... strings: ... condition: ... }``
+* string definitions: text strings with ``nocase``/``wide``/``ascii``/
+  ``fullword`` modifiers, ``/regex/`` patterns, and ``{ AB ?? CD }`` hex
+  strings
+* conditions: string references, ``and``/``or``/``not``, parentheses,
+  ``any/all/N of them``, ``any of ($prefix*)``, string counts (``#a``),
+  ``filesize`` comparisons and integer literals
+
+Public entry points are :func:`compile_source` / :func:`compile_rules` and
+the returned :class:`~repro.yarax.compiler.CompiledRuleSet`'s ``match``.
+"""
+
+from repro.yarax.errors import (
+    YaraCompilationError,
+    YaraError,
+    YaraSyntaxError,
+)
+from repro.yarax.ast_nodes import RuleAst, StringDef
+from repro.yarax.parser import parse_source
+from repro.yarax.compiler import CompiledRule, CompiledRuleSet, compile_rules, compile_source
+from repro.yarax.matcher import RuleMatch, StringMatch
+from repro.yarax.serializer import YaraRuleBuilder, serialize_rule
+
+__all__ = [
+    "YaraError",
+    "YaraSyntaxError",
+    "YaraCompilationError",
+    "RuleAst",
+    "StringDef",
+    "parse_source",
+    "compile_source",
+    "compile_rules",
+    "CompiledRule",
+    "CompiledRuleSet",
+    "RuleMatch",
+    "StringMatch",
+    "YaraRuleBuilder",
+    "serialize_rule",
+]

@@ -1,0 +1,38 @@
+"""Errors raised by the YARA engine.
+
+The alignment agent (paper Section IV-C) consumes these messages verbatim, so
+they are written the way ``yarac`` phrases its diagnostics: a location, an
+error class, and the offending token or identifier.
+"""
+
+from __future__ import annotations
+
+
+class YaraError(Exception):
+    """Base class for all YARA engine errors."""
+
+
+class YaraSyntaxError(YaraError):
+    """A lexical or grammatical error in rule source text."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None) -> None:
+        location = ""
+        if line is not None:
+            location = f"line {line}"
+            if column is not None:
+                location += f", column {column}"
+            location = f"({location}): "
+        super().__init__(f"syntax error {location}{message}" if location else f"syntax error: {message}")
+        self.line = line
+        self.column = column
+        self.reason = message
+
+
+class YaraCompilationError(YaraError):
+    """A semantic error found while compiling a parsed rule."""
+
+    def __init__(self, message: str, rule_name: str | None = None) -> None:
+        prefix = f"rule \"{rule_name}\": " if rule_name else ""
+        super().__init__(f"compilation error: {prefix}{message}")
+        self.rule_name = rule_name
+        self.reason = message

@@ -1,0 +1,232 @@
+"""Tokenizer for YARA rule source text."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.yarax.errors import YaraSyntaxError
+
+# Token types
+KEYWORD = "KEYWORD"
+IDENTIFIER = "IDENTIFIER"
+STRING_ID = "STRING_ID"        # $a
+STRING_COUNT = "STRING_COUNT"  # #a
+STRING_LITERAL = "STRING_LITERAL"
+REGEX_LITERAL = "REGEX_LITERAL"
+HEX_STRING = "HEX_STRING"
+INTEGER = "INTEGER"
+PUNCT = "PUNCT"
+EOF = "EOF"
+
+KEYWORDS = {
+    "rule", "meta", "strings", "condition", "and", "or", "not", "any", "all",
+    "of", "them", "true", "false", "filesize", "nocase", "wide", "ascii",
+    "fullword", "import", "private", "global", "at", "in",
+}
+
+_PUNCTUATION = ("<=", ">=", "==", "!=", "{", "}", "(", ")", ":", "=", ",", "<", ">", "*", "..", "[", "]", "-")
+
+
+@dataclass(frozen=True)
+class Token:
+    type: str
+    value: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.type}, {self.value!r}, line={self.line})"
+
+
+class Lexer:
+    """Convert YARA source text into a list of tokens."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+        self.tokens: list[Token] = []
+        # Hex strings look like '{ AB CD }' which collides with rule bodies;
+        # the lexer only treats '{' as a hex string opener right after '='
+        # inside a strings section.  We approximate by tracking whether the
+        # previous significant token was '='.
+        self._previous_was_assign = False
+
+    # -- helpers -----------------------------------------------------------
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.source[index] if index < len(self.source) else ""
+
+    def _advance(self, count: int = 1) -> str:
+        text = self.source[self.pos : self.pos + count]
+        for ch in text:
+            if ch == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+        self.pos += count
+        return text
+
+    def _error(self, message: str) -> YaraSyntaxError:
+        return YaraSyntaxError(message, line=self.line, column=self.column)
+
+    def _emit(self, token_type: str, value: str, line: int, column: int) -> None:
+        self.tokens.append(Token(token_type, value, line, column))
+        self._previous_was_assign = token_type == PUNCT and value == "="
+
+    # -- main loop -----------------------------------------------------------
+    def tokenize(self) -> list[Token]:
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+                continue
+            if ch == "/" and self._peek(1) == "/":
+                self._skip_line_comment()
+                continue
+            if ch == "/" and self._peek(1) == "*":
+                self._skip_block_comment()
+                continue
+            line, column = self.line, self.column
+            if ch == '"':
+                self._emit(STRING_LITERAL, self._read_string_literal(), line, column)
+            elif ch == "/":
+                self._emit(REGEX_LITERAL, self._read_regex_literal(), line, column)
+            elif ch == "{" and self._previous_was_assign:
+                self._emit(HEX_STRING, self._read_hex_string(), line, column)
+            elif ch == "$":
+                self._emit(STRING_ID, self._read_dollar_identifier(), line, column)
+            elif ch == "#":
+                self._emit(STRING_COUNT, self._read_dollar_identifier(), line, column)
+            elif ch.isdigit():
+                self._emit(INTEGER, self._read_integer(), line, column)
+            elif ch.isalpha() or ch == "_":
+                word = self._read_word()
+                self._emit(KEYWORD if word in KEYWORDS else IDENTIFIER, word, line, column)
+            else:
+                punct = self._read_punct()
+                self._emit(PUNCT, punct, line, column)
+        self.tokens.append(Token(EOF, "", self.line, self.column))
+        return self.tokens
+
+    # -- readers ---------------------------------------------------------------
+    def _skip_line_comment(self) -> None:
+        while self.pos < len(self.source) and self._peek() != "\n":
+            self._advance()
+
+    def _skip_block_comment(self) -> None:
+        start_line = self.line
+        self._advance(2)
+        while self.pos < len(self.source):
+            if self._peek() == "*" and self._peek(1) == "/":
+                self._advance(2)
+                return
+            self._advance()
+        raise YaraSyntaxError("unterminated block comment", line=start_line)
+
+    def _read_string_literal(self) -> str:
+        start_line = self.line
+        self._advance()  # opening quote
+        chars: list[str] = []
+        while True:
+            if self.pos >= len(self.source) or self._peek() == "\n":
+                raise YaraSyntaxError("unterminated string literal", line=start_line)
+            ch = self._advance()
+            if ch == "\\":
+                escaped = self._advance()
+                if escaped == "n":
+                    chars.append("\n")
+                elif escaped == "t":
+                    chars.append("\t")
+                elif escaped in ('"', "\\"):
+                    chars.append(escaped)
+                elif escaped == "x":
+                    code = self._advance(2)
+                    try:
+                        chars.append(chr(int(code, 16)))
+                    except ValueError as exc:
+                        raise self._error(f"invalid hex escape: \\x{code}") from exc
+                else:
+                    chars.append("\\" + escaped)
+                continue
+            if ch == '"':
+                return "".join(chars)
+            chars.append(ch)
+
+    def _read_regex_literal(self) -> str:
+        start_line = self.line
+        self._advance()  # opening slash
+        chars: list[str] = []
+        while True:
+            if self.pos >= len(self.source) or self._peek() == "\n":
+                raise YaraSyntaxError("unterminated regular expression", line=start_line)
+            ch = self._advance()
+            if ch == "\\":
+                chars.append(ch + self._advance())
+                continue
+            if ch == "/":
+                # optional regex modifiers (i, s) directly after the slash are
+                # folded into an inline flag group understood by Python's re.
+                flags = ""
+                while self._peek() in ("i", "s"):
+                    flags += self._advance()
+                pattern = "".join(chars)
+                if flags:
+                    pattern = f"(?{flags})" + pattern
+                return pattern
+            chars.append(ch)
+
+    def _read_hex_string(self) -> str:
+        start_line = self.line
+        self._advance()  # opening brace
+        chars: list[str] = []
+        while True:
+            if self.pos >= len(self.source):
+                raise YaraSyntaxError("unterminated hex string", line=start_line)
+            ch = self._advance()
+            if ch == "}":
+                return "".join(chars).strip()
+            chars.append(ch)
+
+    def _read_dollar_identifier(self) -> str:
+        prefix = self._advance()  # '$' or '#'
+        chars = [prefix]
+        while self._peek().isalnum() or self._peek() == "_":
+            chars.append(self._advance())
+        if self._peek() == "*":
+            chars.append(self._advance())
+        return "".join(chars)
+
+    def _read_integer(self) -> str:
+        chars = []
+        if self._peek() == "0" and self._peek(1) in ("x", "X"):
+            chars.append(self._advance(2))
+            while self._peek() in "0123456789abcdefABCDEF":
+                chars.append(self._advance())
+            return "".join(chars)
+        while self._peek().isdigit():
+            chars.append(self._advance())
+        # size multipliers KB / MB
+        if self._peek(0) in ("K", "M") and self._peek(1) == "B":
+            chars.append(self._advance(2))
+        return "".join(chars)
+
+    def _read_word(self) -> str:
+        chars = []
+        while self._peek().isalnum() or self._peek() == "_":
+            chars.append(self._advance())
+        return "".join(chars)
+
+    def _read_punct(self) -> str:
+        for punct in _PUNCTUATION:
+            if self.source.startswith(punct, self.pos):
+                self._advance(len(punct))
+                return punct
+        raise self._error(f"unexpected character: {self._peek()!r}")
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize YARA source text."""
+    return Lexer(source).tokenize()

@@ -1,0 +1,216 @@
+"""String matching and condition evaluation for compiled YARA rules."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.yarax import ast_nodes as ast
+from repro.yarax.errors import YaraCompilationError
+
+_WORD_CHARS = re.compile(r"\w")
+
+
+@dataclass(frozen=True)
+class StringMatch:
+    """One occurrence of one string definition in the scanned data."""
+
+    identifier: str
+    offset: int
+    matched: str
+
+
+@dataclass
+class RuleMatch:
+    """The result of one rule matching the scanned data."""
+
+    rule_name: str
+    tags: tuple[str, ...] = ()
+    meta: dict[str, object] = field(default_factory=dict)
+    string_matches: list[StringMatch] = field(default_factory=list)
+
+    @property
+    def matched_identifiers(self) -> set[str]:
+        return {m.identifier for m in self.string_matches}
+
+
+class CompiledString:
+    """A string definition compiled into an executable matcher."""
+
+    def __init__(self, definition: ast.StringDef, rule_name: str) -> None:
+        self.definition = definition
+        self.identifier = definition.identifier
+        self._rule_name = rule_name
+        self._regex = self._build_regex(definition)
+
+    # -- compilation -----------------------------------------------------------
+    def _build_regex(self, definition: ast.StringDef) -> re.Pattern[str]:
+        flags = re.IGNORECASE if "nocase" in definition.modifiers else 0
+        if definition.kind == ast.TEXT:
+            if definition.value == "":
+                raise YaraCompilationError(
+                    f"string {definition.identifier} has an empty value", rule_name=self._rule_name
+                )
+            pattern = re.escape(definition.value)
+            if "fullword" in definition.modifiers:
+                pattern = rf"(?<!\w){pattern}(?!\w)"
+            if "wide" in definition.modifiers and "ascii" not in definition.modifiers:
+                # wide strings are UTF-16LE: interleave NUL bytes
+                pattern = "\x00?".join(re.escape(ch) for ch in definition.value)
+        elif definition.kind == ast.REGEX:
+            pattern = definition.value
+            if not pattern:
+                raise YaraCompilationError(
+                    f"string {definition.identifier} has an empty regular expression",
+                    rule_name=self._rule_name,
+                )
+        elif definition.kind == ast.HEX:
+            pattern = self._hex_to_regex(definition.value)
+        else:  # pragma: no cover - StringDef validates kinds
+            raise YaraCompilationError(f"unsupported string kind {definition.kind}")
+        try:
+            return re.compile(pattern, flags | re.DOTALL)
+        except re.error as exc:
+            raise YaraCompilationError(
+                f"invalid regular expression in string {definition.identifier}: {exc}",
+                rule_name=self._rule_name,
+            ) from exc
+
+    def _hex_to_regex(self, hex_body: str) -> str:
+        """Translate a hex string body (``AB ?? CD [2-4]``) into a regex."""
+        parts: list[str] = []
+        tokens = hex_body.replace("[", " [ ").replace("]", " ] ").split()
+        index = 0
+        while index < len(tokens):
+            token = tokens[index]
+            if token == "[":
+                # jump: [n] or [n-m]
+                try:
+                    closing = tokens.index("]", index)
+                except ValueError as exc:
+                    raise YaraCompilationError(
+                        f"unterminated jump in hex string {self.identifier}",
+                        rule_name=self._rule_name,
+                    ) from exc
+                jump = "".join(tokens[index + 1 : closing])
+                if "-" in jump:
+                    low, high = jump.split("-", 1)
+                    parts.append(f".{{{int(low)},{int(high)}}}")
+                else:
+                    parts.append(f".{{{int(jump)}}}")
+                index = closing + 1
+                continue
+            if token == "??":
+                parts.append(".")
+            elif len(token) == 2 and all(c in "0123456789abcdefABCDEF?" for c in token):
+                if "?" in token:
+                    parts.append(".")
+                else:
+                    parts.append(re.escape(chr(int(token, 16))))
+            else:
+                raise YaraCompilationError(
+                    f"invalid byte {token!r} in hex string {self.identifier}",
+                    rule_name=self._rule_name,
+                )
+            index += 1
+        if not parts:
+            raise YaraCompilationError(
+                f"empty hex string {self.identifier}", rule_name=self._rule_name
+            )
+        return "".join(parts)
+
+    # -- matching ----------------------------------------------------------------
+    def find(self, data: str, max_matches: int = 1000) -> list[StringMatch]:
+        matches: list[StringMatch] = []
+        for found in self._regex.finditer(data):
+            matches.append(StringMatch(self.identifier, found.start(), found.group(0)))
+            if len(matches) >= max_matches:
+                break
+        return matches
+
+
+class ConditionEvaluator:
+    """Evaluate a rule condition given per-string match results."""
+
+    def __init__(
+        self,
+        matches_by_id: dict[str, list[StringMatch]],
+        all_identifiers: list[str],
+        data_length: int,
+    ) -> None:
+        self.matches_by_id = matches_by_id
+        self.all_identifiers = all_identifiers
+        self.data_length = data_length
+
+    def evaluate(self, expr: ast.Expression) -> bool:
+        return bool(self._eval(expr))
+
+    # -- recursive evaluation ------------------------------------------------------
+    def _eval(self, expr: ast.Expression):
+        if isinstance(expr, ast.BoolLiteral):
+            return expr.value
+        if isinstance(expr, ast.IntLiteral):
+            return expr.value
+        if isinstance(expr, ast.Filesize):
+            return self.data_length
+        if isinstance(expr, ast.StringRef):
+            return len(self.matches_by_id.get(expr.identifier, [])) > 0
+        if isinstance(expr, ast.StringCount):
+            return len(self.matches_by_id.get(expr.identifier, []))
+        if isinstance(expr, ast.NotExpr):
+            return not self._truthy(self._eval(expr.operand))
+        if isinstance(expr, ast.AndExpr):
+            return all(self._truthy(self._eval(op)) for op in expr.operands)
+        if isinstance(expr, ast.OrExpr):
+            return any(self._truthy(self._eval(op)) for op in expr.operands)
+        if isinstance(expr, ast.Comparison):
+            return self._compare(expr)
+        if isinstance(expr, ast.OfExpr):
+            return self._eval_of(expr)
+        raise YaraCompilationError(f"cannot evaluate expression node {type(expr).__name__}")
+
+    @staticmethod
+    def _truthy(value) -> bool:
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, int):
+            return value != 0
+        return bool(value)
+
+    def _compare(self, expr: ast.Comparison) -> bool:
+        left = self._eval(expr.left)
+        right = self._eval(expr.right)
+        left = int(left) if isinstance(left, bool) else left
+        right = int(right) if isinstance(right, bool) else right
+        if expr.op == "<":
+            return left < right
+        if expr.op == ">":
+            return left > right
+        if expr.op == "<=":
+            return left <= right
+        if expr.op == ">=":
+            return left >= right
+        if expr.op == "==":
+            return left == right
+        if expr.op == "!=":
+            return left != right
+        raise YaraCompilationError(f"unknown comparison operator {expr.op!r}")
+
+    def _eval_of(self, expr: ast.OfExpr) -> bool:
+        if expr.string_set.them:
+            identifiers = list(self.all_identifiers)
+        else:
+            identifiers = []
+            for member in expr.string_set.members:
+                if member.endswith("*"):
+                    prefix = member[:-1]
+                    identifiers.extend(i for i in self.all_identifiers if i.startswith(prefix))
+                else:
+                    identifiers.append(member)
+        matched = sum(1 for identifier in identifiers if self.matches_by_id.get(identifier))
+        total = len(identifiers)
+        if expr.quantifier == "any":
+            return matched >= 1
+        if expr.quantifier == "all":
+            return total > 0 and matched == total
+        return matched >= int(expr.quantifier)

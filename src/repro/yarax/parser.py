@@ -1,0 +1,305 @@
+"""Recursive-descent parser for YARA rule source text."""
+
+from __future__ import annotations
+
+from repro.yarax import ast_nodes as ast
+from repro.yarax.errors import YaraSyntaxError
+from repro.yarax.lexer import (
+    EOF,
+    HEX_STRING,
+    IDENTIFIER,
+    INTEGER,
+    KEYWORD,
+    PUNCT,
+    REGEX_LITERAL,
+    STRING_COUNT,
+    STRING_ID,
+    STRING_LITERAL,
+    Token,
+    tokenize,
+)
+
+_SIZE_MULTIPLIERS = {"KB": 1024, "MB": 1024 * 1024}
+
+
+class Parser:
+    """Parse a token stream into a list of :class:`~repro.yarax.ast_nodes.RuleAst`."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.index = 0
+
+    # -- token helpers ---------------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def _advance(self) -> Token:
+        token = self.current
+        if token.type != EOF:
+            self.index += 1
+        return token
+
+    def _check(self, token_type: str, value: str | None = None) -> bool:
+        token = self.current
+        if token.type != token_type:
+            return False
+        return value is None or token.value == value
+
+    def _match(self, token_type: str, value: str | None = None) -> Token | None:
+        if self._check(token_type, value):
+            return self._advance()
+        return None
+
+    def _expect(self, token_type: str, value: str | None = None, context: str = "") -> Token:
+        if self._check(token_type, value):
+            return self._advance()
+        token = self.current
+        expected = value or token_type.lower()
+        suffix = f" in {context}" if context else ""
+        raise YaraSyntaxError(
+            f"expected {expected!r} but found {token.value!r}{suffix}",
+            line=token.line,
+            column=token.column,
+        )
+
+    # -- grammar ------------------------------------------------------------------
+    def parse(self) -> list[ast.RuleAst]:
+        rules: list[ast.RuleAst] = []
+        while not self._check(EOF):
+            # tolerate and skip import statements
+            if self._check(KEYWORD, "import"):
+                self._advance()
+                self._expect(STRING_LITERAL, context="import statement")
+                continue
+            # rule visibility modifiers
+            while self._check(KEYWORD, "private") or self._check(KEYWORD, "global"):
+                self._advance()
+            rules.append(self._parse_rule())
+        if not rules:
+            raise YaraSyntaxError("no rules found in source")
+        return rules
+
+    def _parse_rule(self) -> ast.RuleAst:
+        keyword = self._expect(KEYWORD, "rule", context="rule declaration")
+        name_token = self.current
+        if name_token.type not in (IDENTIFIER, KEYWORD):
+            raise YaraSyntaxError(
+                f"expected rule identifier but found {name_token.value!r}",
+                line=name_token.line,
+                column=name_token.column,
+            )
+        self._advance()
+        rule = ast.RuleAst(name=name_token.value, line=keyword.line)
+
+        if self._match(PUNCT, ":"):
+            tags = []
+            while self._check(IDENTIFIER) or self._check(KEYWORD):
+                tags.append(self._advance().value)
+            if not tags:
+                raise YaraSyntaxError("expected at least one tag after ':'", line=self.current.line)
+            rule.tags = tuple(tags)
+
+        self._expect(PUNCT, "{", context=f"rule {rule.name}")
+        while not self._check(PUNCT, "}"):
+            if self._check(EOF):
+                raise YaraSyntaxError(f"unexpected end of file inside rule {rule.name}",
+                                      line=self.current.line)
+            if self._match(KEYWORD, "meta"):
+                self._expect(PUNCT, ":", context="meta section")
+                rule.meta = self._parse_meta()
+            elif self._match(KEYWORD, "strings"):
+                self._expect(PUNCT, ":", context="strings section")
+                rule.strings = self._parse_strings(rule.name)
+            elif self._match(KEYWORD, "condition"):
+                self._expect(PUNCT, ":", context="condition section")
+                rule.condition = self._parse_expression()
+            else:
+                token = self.current
+                raise YaraSyntaxError(
+                    f"unexpected token {token.value!r} inside rule {rule.name}",
+                    line=token.line,
+                    column=token.column,
+                )
+        self._expect(PUNCT, "}", context=f"rule {rule.name}")
+        return rule
+
+    # -- sections -------------------------------------------------------------------
+    def _parse_meta(self) -> dict[str, object]:
+        meta: dict[str, object] = {}
+        while self._check(IDENTIFIER) or (self._check(KEYWORD) and self._peek_is_assignment()):
+            key = self._advance().value
+            self._expect(PUNCT, "=", context="meta entry")
+            token = self.current
+            if token.type == STRING_LITERAL:
+                meta[key] = self._advance().value
+            elif token.type == INTEGER:
+                meta[key] = self._parse_integer_value(self._advance().value)
+            elif token.type == KEYWORD and token.value in ("true", "false"):
+                meta[key] = self._advance().value == "true"
+            else:
+                raise YaraSyntaxError(
+                    f"invalid meta value {token.value!r}", line=token.line, column=token.column
+                )
+        return meta
+
+    def _peek_is_assignment(self) -> bool:
+        nxt = self.tokens[self.index + 1] if self.index + 1 < len(self.tokens) else None
+        return nxt is not None and nxt.type == PUNCT and nxt.value == "="
+
+    def _parse_strings(self, rule_name: str) -> list[ast.StringDef]:
+        strings: list[ast.StringDef] = []
+        while self._check(STRING_ID):
+            id_token = self._advance()
+            identifier = id_token.value
+            self._expect(PUNCT, "=", context=f"string {identifier}")
+            value_token = self.current
+            if value_token.type == STRING_LITERAL:
+                kind, value = ast.TEXT, self._advance().value
+            elif value_token.type == REGEX_LITERAL:
+                kind, value = ast.REGEX, self._advance().value
+            elif value_token.type == HEX_STRING:
+                kind, value = ast.HEX, self._advance().value
+            else:
+                raise YaraSyntaxError(
+                    f"invalid string value for {identifier} in rule {rule_name}",
+                    line=value_token.line,
+                    column=value_token.column,
+                )
+            modifiers = []
+            while self._check(KEYWORD) and self.current.value in ("nocase", "wide", "ascii", "fullword"):
+                modifiers.append(self._advance().value)
+            try:
+                strings.append(
+                    ast.StringDef(identifier=identifier, kind=kind, value=value,
+                                  modifiers=tuple(modifiers), line=id_token.line)
+                )
+            except ValueError as exc:
+                raise YaraSyntaxError(str(exc), line=id_token.line) from exc
+        if not strings:
+            raise YaraSyntaxError(f"empty strings section in rule {rule_name}",
+                                  line=self.current.line)
+        return strings
+
+    # -- condition expression grammar ---------------------------------------------------
+    # expression := or_expr
+    # or_expr    := and_expr ('or' and_expr)*
+    # and_expr   := unary ('and' unary)*
+    # unary      := 'not' unary | comparison
+    # comparison := primary (('<'|'>'|'<='|'>='|'=='|'!=') primary)?
+    # primary    := '(' expression ')' | of_expr | string_ref | count | int | bool | filesize
+
+    def _parse_expression(self) -> ast.Expression:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expression:
+        operands = [self._parse_and()]
+        while self._match(KEYWORD, "or"):
+            operands.append(self._parse_and())
+        return operands[0] if len(operands) == 1 else ast.OrExpr(operands)
+
+    def _parse_and(self) -> ast.Expression:
+        operands = [self._parse_unary()]
+        while self._match(KEYWORD, "and"):
+            operands.append(self._parse_unary())
+        return operands[0] if len(operands) == 1 else ast.AndExpr(operands)
+
+    def _parse_unary(self) -> ast.Expression:
+        if self._match(KEYWORD, "not"):
+            return ast.NotExpr(self._parse_unary())
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> ast.Expression:
+        left = self._parse_primary()
+        if self._check(PUNCT) and self.current.value in ("<", ">", "<=", ">=", "==", "!="):
+            op = self._advance().value
+            right = self._parse_primary()
+            return ast.Comparison(left, op, right)
+        return left
+
+    def _parse_primary(self) -> ast.Expression:
+        token = self.current
+        if self._match(PUNCT, "("):
+            inner = self._parse_expression()
+            self._expect(PUNCT, ")", context="parenthesised expression")
+            return inner
+        if token.type == KEYWORD and token.value in ("any", "all"):
+            return self._parse_of_expression()
+        if token.type == INTEGER and self._next_is_of():
+            return self._parse_of_expression()
+        if token.type == STRING_ID:
+            self._advance()
+            identifier = token.value
+            if identifier.endswith("*"):
+                raise YaraSyntaxError(
+                    "wildcard string reference is only allowed inside an 'of' expression",
+                    line=token.line,
+                )
+            # optional "at offset" / "in (a..b)" qualifiers -- parsed, evaluated as presence
+            if self._match(KEYWORD, "at"):
+                self._expect(INTEGER, context="'at' expression")
+            elif self._match(KEYWORD, "in"):
+                self._expect(PUNCT, "(", context="'in' range")
+                self._expect(INTEGER, context="'in' range")
+                self._expect(PUNCT, "..", context="'in' range")
+                self._expect(INTEGER, context="'in' range")
+                self._expect(PUNCT, ")", context="'in' range")
+            return ast.StringRef(identifier)
+        if token.type == STRING_COUNT:
+            self._advance()
+            return ast.StringCount("$" + token.value[1:])
+        if token.type == INTEGER:
+            self._advance()
+            return ast.IntLiteral(self._parse_integer_value(token.value))
+        if token.type == KEYWORD and token.value in ("true", "false"):
+            self._advance()
+            return ast.BoolLiteral(token.value == "true")
+        if token.type == KEYWORD and token.value == "filesize":
+            self._advance()
+            return ast.Filesize()
+        if token.type == KEYWORD and token.value == "them":
+            raise YaraSyntaxError("'them' may only appear after 'of'", line=token.line)
+        raise YaraSyntaxError(
+            f"unexpected token {token.value!r} in condition", line=token.line, column=token.column
+        )
+
+    def _next_is_of(self) -> bool:
+        nxt = self.tokens[self.index + 1] if self.index + 1 < len(self.tokens) else None
+        return nxt is not None and nxt.type == KEYWORD and nxt.value == "of"
+
+    def _parse_of_expression(self) -> ast.OfExpr:
+        token = self._advance()
+        if token.type == INTEGER:
+            quantifier: int | str = self._parse_integer_value(token.value)
+        else:
+            quantifier = token.value  # 'any' or 'all'
+        self._expect(KEYWORD, "of", context="'of' expression")
+        if self._match(KEYWORD, "them"):
+            return ast.OfExpr(quantifier=quantifier, string_set=ast.StringSet(them=True))
+        self._expect(PUNCT, "(", context="'of' string set")
+        members: list[str] = []
+        while True:
+            member = self._expect(STRING_ID, context="'of' string set")
+            members.append(member.value)
+            if not self._match(PUNCT, ","):
+                break
+        self._expect(PUNCT, ")", context="'of' string set")
+        return ast.OfExpr(quantifier=quantifier, string_set=ast.StringSet(members=tuple(members)))
+
+    # -- literals --------------------------------------------------------------------------
+    @staticmethod
+    def _parse_integer_value(raw: str) -> int:
+        raw = raw.strip()
+        for suffix, multiplier in _SIZE_MULTIPLIERS.items():
+            if raw.endswith(suffix):
+                return int(raw[: -len(suffix)]) * multiplier
+        if raw.lower().startswith("0x"):
+            return int(raw, 16)
+        return int(raw)
+
+
+def parse_source(source: str) -> list[ast.RuleAst]:
+    """Parse YARA source text into rule ASTs."""
+    if not source or not source.strip():
+        raise YaraSyntaxError("empty rule source")
+    return Parser(tokenize(source)).parse()

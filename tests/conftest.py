@@ -1,0 +1,60 @@
+"""Shared fixtures.
+
+Expensive artefacts (the synthetic corpus, one full pipeline run, compiled
+rule sets) are built once per session and shared across test modules; tests
+that need to mutate state build their own small instances instead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import RuleLLM, RuleLLMConfig
+from repro.corpus import DatasetConfig, build_dataset
+from repro.evaluation.detector import RuleScanner
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A small corpus (a few dozen packages) used across the suite."""
+    return build_dataset(DatasetConfig.small())
+
+
+@pytest.fixture(scope="session")
+def malware_packages(small_dataset):
+    return small_dataset.malware
+
+
+@pytest.fixture(scope="session")
+def benign_packages(small_dataset):
+    return small_dataset.benign
+
+
+@pytest.fixture(scope="session")
+def pipeline():
+    return RuleLLM(RuleLLMConfig.full())
+
+
+@pytest.fixture(scope="session")
+def generated_rules(pipeline, malware_packages):
+    """One full RuleLLM run over the small corpus."""
+    return pipeline.generate_rules(malware_packages)
+
+
+@pytest.fixture(scope="session")
+def compiled_yara(generated_rules):
+    return generated_rules.compile_yara()
+
+
+@pytest.fixture(scope="session")
+def compiled_semgrep(generated_rules):
+    return generated_rules.compile_semgrep()
+
+
+@pytest.fixture(scope="session")
+def detection_result(generated_rules, small_dataset):
+    scanner = RuleScanner(
+        yara_rules=generated_rules.compile_yara(),
+        semgrep_rules=generated_rules.compile_semgrep(),
+    )
+    return scanner.scan(small_dataset.packages)

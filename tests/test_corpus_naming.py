@@ -1,0 +1,57 @@
+"""Tests for typosquatting name generation (repro.corpus.naming)."""
+
+from repro.corpus.naming import (
+    POPULAR_PACKAGES,
+    is_similar_to_popular,
+    random_project_name,
+    squat_popular,
+    typosquat,
+)
+from repro.utils.seeding import DeterministicRandom
+
+
+def test_typosquat_differs_from_target():
+    rng = DeterministicRandom(1, "squat")
+    for target in ("requests", "numpy", "flask", "cryptography"):
+        assert typosquat(target, rng) != target
+
+
+def test_typosquat_deterministic_per_stream():
+    assert typosquat("requests", DeterministicRandom(1, "s")) == typosquat("requests", DeterministicRandom(1, "s"))
+
+
+def test_squat_popular_returns_known_target():
+    squatted, target = squat_popular(DeterministicRandom(3, "sq"))
+    assert target in POPULAR_PACKAGES
+    assert squatted != target
+
+
+def test_exact_popular_name_is_not_flagged():
+    assert not is_similar_to_popular("requests")
+    assert not is_similar_to_popular("numpy")
+
+
+def test_classic_typos_are_flagged():
+    assert is_similar_to_popular("reqests")       # dropped character
+    assert is_similar_to_popular("requestss")     # doubled character
+    assert is_similar_to_popular("request5")      # substitution within distance 2
+
+
+def test_unrelated_names_are_not_flagged():
+    assert not is_similar_to_popular("totally-unrelated-project-xyz")
+
+
+def test_generated_squats_are_usually_flagged():
+    rng = DeterministicRandom(11, "flag")
+    flagged = 0
+    for _ in range(60):
+        squatted, _target = squat_popular(rng)
+        flagged += is_similar_to_popular(squatted)
+    assert flagged >= 40
+
+
+def test_random_project_name_is_plausible_identifier_material():
+    rng = DeterministicRandom(2, "names")
+    name = random_project_name(rng)
+    assert name and name.isascii()
+    assert " " not in name

@@ -1,0 +1,107 @@
+"""Tests for the hashing embedder and the K-Means grouping step."""
+
+import numpy as np
+import pytest
+
+from repro.extraction.clustering import (
+    KMeans,
+    cluster_packages,
+    cosine_similarity,
+    intra_cluster_similarity,
+)
+from repro.extraction.embedding import CodeEmbedder, EmbeddingConfig, tokenize_code
+
+
+def test_tokenize_code_handles_valid_python():
+    tokens = tokenize_code("def f(x):\n    return x + 1\n")
+    assert "def" in tokens and "return" in tokens
+
+
+def test_tokenize_code_falls_back_on_broken_code():
+    tokens = tokenize_code("def broken(:\n  ???")
+    assert tokens  # regex fallback still produces tokens
+
+
+def test_embedding_is_unit_norm_and_deterministic():
+    embedder = CodeEmbedder()
+    a = embedder.embed("import os\nos.system('id')")
+    b = embedder.embed("import os\nos.system('id')")
+    assert np.allclose(a, b)
+    assert abs(np.linalg.norm(a) - 1.0) < 1e-9
+
+
+def test_embedding_similarity_orders_related_code_first():
+    embedder = CodeEmbedder()
+    base = embedder.embed_document("import socket\ns = socket.socket()\ns.connect(('h', 80))")
+    variant = embedder.embed_document("import socket\nsock = socket.socket()\nsock.connect(('x', 443))")
+    unrelated = embedder.embed_document("def moving_average(vals, w):\n    return sum(vals[-w:]) / w")
+    assert cosine_similarity(base, variant) > cosine_similarity(base, unrelated)
+
+
+def test_embedding_config_validation():
+    with pytest.raises(ValueError):
+        EmbeddingConfig(dimensions=4)
+    with pytest.raises(ValueError):
+        EmbeddingConfig(segment_length=0)
+
+
+def test_embed_packages_shape(malware_packages):
+    embedder = CodeEmbedder()
+    matrix = embedder.embed_packages(malware_packages[:5])
+    assert matrix.shape == (5, embedder.config.dimensions)
+
+
+def test_kmeans_separates_obvious_clusters():
+    rng = np.random.default_rng(0)
+    a = rng.normal(0.0, 0.05, size=(20, 4))
+    b = rng.normal(5.0, 0.05, size=(20, 4))
+    data = np.vstack([a, b])
+    labels = KMeans(n_clusters=2).fit_predict(data)
+    assert len(set(labels[:20])) == 1
+    assert len(set(labels[20:])) == 1
+    assert labels[0] != labels[-1]
+
+
+def test_kmeans_validates_input():
+    with pytest.raises(ValueError):
+        KMeans(n_clusters=0)
+    with pytest.raises(ValueError):
+        KMeans(n_clusters=2).fit(np.zeros((0, 3)))
+
+
+def test_kmeans_handles_more_clusters_than_points():
+    data = np.array([[0.0, 0.0], [1.0, 1.0]])
+    labels = KMeans(n_clusters=10).fit_predict(data)
+    assert len(labels) == 2
+
+
+def test_intra_cluster_similarity_bounds():
+    identical = np.vstack([np.ones(8), np.ones(8)])
+    assert intra_cluster_similarity(identical) == pytest.approx(1.0)
+    single = np.ones((1, 8))
+    assert intra_cluster_similarity(single) == 1.0
+
+
+def test_cosine_similarity_zero_vector():
+    assert cosine_similarity(np.zeros(4), np.ones(4)) == 0.0
+
+
+def test_cluster_packages_groups_families(malware_packages):
+    result = cluster_packages(malware_packages)
+    assert result.package_count + sum(len(g) for g in result.discarded) == len(malware_packages)
+    # members of the same retained cluster overwhelmingly share their family
+    for cluster in result.clusters:
+        families = {pkg.family for pkg in cluster}
+        assert len(families) <= 2
+
+
+def test_cluster_packages_empty_input():
+    result = cluster_packages([])
+    assert result.clusters == [] and result.discarded == []
+
+
+def test_cluster_labels_mapping_consistent(malware_packages):
+    result = cluster_packages(malware_packages)
+    for index, cluster in enumerate(result.clusters):
+        for pkg in cluster:
+            assert result.labels[pkg.identifier] == index

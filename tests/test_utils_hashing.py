@@ -1,0 +1,44 @@
+"""Tests for repro.utils.hashing."""
+
+import pytest
+
+from repro.utils.hashing import content_signature, stable_digest, stable_hash
+
+
+def test_stable_digest_is_deterministic():
+    assert stable_digest("hello") == stable_digest("hello")
+
+
+def test_stable_digest_differs_for_different_inputs():
+    assert stable_digest("hello") != stable_digest("hello!")
+
+
+def test_stable_hash_respects_bit_width():
+    for bits in (1, 8, 16, 32, 64, 256):
+        value = stable_hash("some text", bits=bits)
+        assert 0 <= value < (1 << bits)
+
+
+def test_stable_hash_rejects_invalid_bits():
+    with pytest.raises(ValueError):
+        stable_hash("x", bits=0)
+    with pytest.raises(ValueError):
+        stable_hash("x", bits=300)
+
+
+def test_stable_hash_deterministic_across_calls():
+    assert stable_hash("abc") == stable_hash("abc")
+    assert stable_hash("abc") != stable_hash("abd")
+
+
+def test_content_signature_order_insensitive():
+    assert content_signature(["a", "b", "c"]) == content_signature(["c", "a", "b"])
+
+
+def test_content_signature_content_sensitive():
+    assert content_signature(["a", "b"]) != content_signature(["a", "b", "c"])
+
+
+def test_content_signature_empty_iterable():
+    assert content_signature([]) == content_signature([])
+    assert isinstance(content_signature([]), str)

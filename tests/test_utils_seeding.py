@@ -1,0 +1,74 @@
+"""Tests for repro.utils.seeding."""
+
+import pytest
+
+from repro.utils.seeding import DeterministicRandom, derive_seed
+
+
+def test_derive_seed_deterministic():
+    assert derive_seed(42, "a", "b") == derive_seed(42, "a", "b")
+
+
+def test_derive_seed_scope_sensitivity():
+    assert derive_seed(42, "a") != derive_seed(42, "b")
+    assert derive_seed(42, "a") != derive_seed(43, "a")
+
+
+def test_same_scope_reproduces_stream():
+    a = DeterministicRandom(7, "corpus")
+    b = DeterministicRandom(7, "corpus")
+    assert [a.randint(0, 100) for _ in range(10)] == [b.randint(0, 100) for _ in range(10)]
+
+
+def test_different_scope_decorrelates_stream():
+    a = DeterministicRandom(7, "corpus")
+    b = DeterministicRandom(7, "llm")
+    assert [a.randint(0, 1000) for _ in range(10)] != [b.randint(0, 1000) for _ in range(10)]
+
+
+def test_choice_raises_on_empty_sequence():
+    rng = DeterministicRandom(1, "x")
+    with pytest.raises(ValueError):
+        rng.choice([])
+
+
+def test_coin_edge_probabilities():
+    rng = DeterministicRandom(1, "x")
+    assert rng.coin(0.0) is False
+    assert rng.coin(1.0) is True
+
+
+def test_coin_probability_roughly_respected():
+    rng = DeterministicRandom(3, "coin")
+    hits = sum(rng.coin(0.25) for _ in range(2000))
+    assert 350 < hits < 650
+
+
+def test_sample_never_exceeds_population():
+    rng = DeterministicRandom(1, "sample")
+    assert len(rng.sample([1, 2, 3], 10)) == 3
+
+
+def test_shuffle_returns_copy_and_preserves_elements():
+    rng = DeterministicRandom(1, "shuffle")
+    original = [1, 2, 3, 4, 5]
+    shuffled = rng.shuffle(original)
+    assert original == [1, 2, 3, 4, 5]
+    assert sorted(shuffled) == original
+
+
+def test_weighted_choice_validates_lengths():
+    rng = DeterministicRandom(1, "w")
+    with pytest.raises(ValueError):
+        rng.weighted_choice([1, 2], [1.0])
+
+
+def test_weighted_choice_prefers_heavy_weight():
+    rng = DeterministicRandom(5, "w")
+    picks = [rng.weighted_choice(["a", "b"], [0.01, 100.0]) for _ in range(50)]
+    assert picks.count("b") > 45
+
+
+def test_child_stream_is_deterministic():
+    parent = DeterministicRandom(9, "parent")
+    assert parent.child("x").randint(0, 10**6) == DeterministicRandom(9, "parent").child("x").randint(0, 10**6)

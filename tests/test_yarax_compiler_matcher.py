@@ -1,0 +1,141 @@
+"""Tests for YARA compilation semantics and matching."""
+
+import pytest
+
+from repro.yarax import YaraCompilationError, compile_source
+from repro.yarax.compiler import scan_many, try_compile
+
+
+def compile_one(body: str):
+    return compile_source(body)
+
+
+def test_undefined_string_in_condition_is_an_error():
+    with pytest.raises(YaraCompilationError, match="undefined string"):
+        compile_one('rule x { strings: $a = "v" condition: $b }')
+
+
+def test_unreferenced_strings_without_of_them_is_an_error():
+    with pytest.raises(YaraCompilationError, match="unreferenced string"):
+        compile_one('rule x { strings: $a = "v" $b = "w" condition: true }')
+
+
+def test_missing_condition_is_an_error():
+    with pytest.raises(YaraCompilationError, match="missing condition"):
+        compile_one('rule x { strings: $a = "v" }')
+
+
+def test_duplicate_rule_name_is_an_error():
+    source = ('rule x { strings: $a = "v" condition: $a }\n'
+              'rule x { strings: $a = "w" condition: $a }')
+    with pytest.raises(YaraCompilationError, match="duplicated rule"):
+        compile_one(source)
+
+
+def test_duplicate_string_identifier_is_an_error():
+    with pytest.raises(YaraCompilationError, match="duplicated string"):
+        compile_one('rule x { strings: $a = "v" $a = "w" condition: any of them }')
+
+
+def test_invalid_regex_is_an_error():
+    with pytest.raises(YaraCompilationError, match="regular expression"):
+        compile_one('rule x { strings: $a = /([A-Z/ condition: $a }')
+
+
+def test_invalid_hex_string_is_an_error():
+    with pytest.raises(YaraCompilationError):
+        compile_one('rule x { strings: $a = { ZZ XX } condition: $a }')
+
+
+def test_text_string_matching_and_offsets():
+    rules = compile_one('rule x { strings: $a = "needle" condition: $a }')
+    match = rules.rules[0].match("hay needle hay needle")
+    assert match is not None
+    assert len(match.string_matches) == 2
+    assert match.string_matches[0].offset == 4
+
+
+def test_nocase_modifier():
+    rules = compile_one('rule x { strings: $a = "Token" nocase condition: $a }')
+    assert rules.match("TOKEN in caps")
+    assert not compile_one('rule x { strings: $a = "Token" condition: $a }').match("TOKEN")
+
+
+def test_fullword_modifier():
+    rules = compile_one('rule x { strings: $a = "cat" fullword condition: $a }')
+    assert rules.match("a cat sat")
+    assert not rules.match("concatenate")
+
+
+def test_regex_string_matching():
+    rules = compile_one(r'rule x { strings: $a = /AKIA[0-9A-Z]{8}/ condition: $a }')
+    assert rules.match('key = "AKIA12345678"')
+    assert not rules.match("key = nothing")
+
+
+def test_hex_string_matching_with_wildcards():
+    rules = compile_one('rule x { strings: $a = { 41 ?? 43 } condition: $a }')
+    assert rules.match("xxAbCxx".replace("b", "B"))  # bytes 0x41 ?? 0x43 => 'A', any, 'C'
+    assert rules.match("AZC")
+    assert not rules.match("AC")
+
+
+def test_of_them_quantifiers():
+    source = 'rule x { strings: $a = "one" $b = "two" $c = "three" condition: 2 of them }'
+    rules = compile_one(source)
+    assert rules.match("one and two")
+    assert not rules.match("only one")
+
+
+def test_of_prefix_wildcard_set():
+    source = ('rule x { strings: $net0 = "socket" $net1 = "connect" $other = "zzz" '
+              'condition: all of ($net*) }')
+    rules = compile_one(source)
+    assert rules.match("socket then connect")
+    assert not rules.match("socket only")
+
+
+def test_count_comparison():
+    rules = compile_one('rule x { strings: $a = "hit" condition: #a >= 3 }')
+    assert rules.match("hit hit hit")
+    assert not rules.match("hit hit")
+
+
+def test_filesize_condition():
+    rules = compile_one('rule x { strings: $a = "x" condition: $a and filesize < 10 }')
+    assert rules.match("x")
+    assert not rules.match("x" * 50)
+
+
+def test_not_and_boolean_literals():
+    rules = compile_one('rule x { strings: $a = "bad" condition: not $a and true }')
+    assert rules.match("all good here")
+    assert not rules.match("bad stuff")
+
+
+def test_ruleset_match_returns_all_matching_rules():
+    source = ('rule a { strings: $x = "alpha" condition: $x }\n'
+              'rule b { strings: $y = "beta" condition: $y }')
+    rules = compile_one(source)
+    names = {m.rule_name for m in rules.match("alpha beta")}
+    assert names == {"a", "b"}
+
+
+def test_try_compile_success_and_failure():
+    ok, err = try_compile('rule x { strings: $a = "v" condition: $a }')
+    assert ok is not None and err is None
+    bad, err = try_compile('rule x { strings: $a = "v" condition: $missing }')
+    assert bad is None and "undefined string" in err
+
+
+def test_scan_many_preserves_order():
+    rules = compile_one('rule x { strings: $a = "mark" condition: $a }')
+    results = scan_many(rules, ["no", "mark here", "no"])
+    assert [len(r) for r in results] == [0, 1, 0]
+
+
+def test_extend_rejects_duplicate_names():
+    a = compile_one('rule x { strings: $a = "v" condition: $a }')
+    b = compile_one('rule x { strings: $a = "w" condition: $a }')
+    with pytest.raises(YaraCompilationError):
+        a.extend(b)

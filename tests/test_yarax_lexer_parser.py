@@ -1,0 +1,114 @@
+"""Tests for the YARA lexer and parser."""
+
+import pytest
+
+from repro.yarax import ast_nodes as ast
+from repro.yarax.errors import YaraSyntaxError
+from repro.yarax.lexer import tokenize
+from repro.yarax.parser import parse_source
+
+RULE = """
+// a leading comment
+import "pe"
+
+rule demo_rule : tag1 tag2
+{
+    meta:
+        description = "demo"
+        score = 10
+        active = true
+    strings:
+        $text = "hello world" nocase fullword
+        $re = /https?:\\/\\/[a-z]+/
+        $hex = { AB ?? CD [2-4] EF }
+    condition:
+        ($text and #re > 2) or any of ($hex, $re) or filesize < 100KB
+}
+"""
+
+
+def test_tokenize_produces_eof_terminated_stream():
+    tokens = tokenize('rule x { strings: $a = "v" condition: $a }')
+    assert tokens[-1].type == "EOF"
+    assert tokens[0].value == "rule"
+
+
+def test_tokenize_tracks_line_numbers():
+    tokens = tokenize("rule x\n{\n}")
+    brace = [t for t in tokens if t.value == "{"][0]
+    assert brace.line == 2
+
+
+def test_tokenize_unterminated_string_raises():
+    with pytest.raises(YaraSyntaxError):
+        tokenize('rule x { strings: $a = "unterminated')
+
+
+def test_tokenize_unterminated_regex_raises():
+    with pytest.raises(YaraSyntaxError):
+        tokenize("rule x { strings: $a = /abc")
+
+
+def test_parse_full_rule_structure():
+    rules = parse_source(RULE)
+    assert len(rules) == 1
+    rule = rules[0]
+    assert rule.name == "demo_rule"
+    assert rule.tags == ("tag1", "tag2")
+    assert rule.meta == {"description": "demo", "score": 10, "active": True}
+    assert [s.identifier for s in rule.strings] == ["$text", "$re", "$hex"]
+    assert rule.strings[0].modifiers == ("nocase", "fullword")
+    assert rule.strings[2].kind == ast.HEX
+    assert rule.condition is not None
+
+
+def test_parse_multiple_rules():
+    source = 'rule a { strings: $x = "1" condition: $x }\nrule b { strings: $y = "2" condition: $y }'
+    rules = parse_source(source)
+    assert [r.name for r in rules] == ["a", "b"]
+
+
+def test_parse_empty_source_raises():
+    with pytest.raises(YaraSyntaxError):
+        parse_source("   \n  ")
+
+
+def test_parse_missing_brace_raises():
+    with pytest.raises(YaraSyntaxError):
+        parse_source('rule x { strings: $a = "v" condition: $a')
+
+
+def test_parse_empty_strings_section_raises():
+    with pytest.raises(YaraSyntaxError):
+        parse_source("rule x { strings: condition: true }")
+
+
+def test_parse_condition_operators():
+    source = 'rule x { strings: $a = "1" $b = "2" condition: not $a and ($b or 2 of them) }'
+    rule = parse_source(source)[0]
+    assert isinstance(rule.condition, ast.AndExpr)
+
+
+def test_parse_filesize_units():
+    rule = parse_source('rule x { condition: filesize < 2MB }')[0]
+    assert isinstance(rule.condition, ast.Comparison)
+    assert rule.condition.right.value == 2 * 1024 * 1024
+
+
+def test_referenced_strings_helper():
+    rule = parse_source('rule x { strings: $a = "1" $b = "2" condition: $a and #b > 1 }')[0]
+    assert ast.referenced_strings(rule.condition) == {"$a", "$b"}
+
+
+def test_uses_them_helper():
+    rule = parse_source('rule x { strings: $a = "1" condition: any of them }')[0]
+    assert ast.uses_them(rule.condition)
+
+
+def test_string_def_validation():
+    with pytest.raises(ValueError):
+        ast.StringDef("a", ast.TEXT, "missing dollar")
+    with pytest.raises(ValueError):
+        ast.StringDef("$a", "unknown-kind", "x")
+    with pytest.raises(ValueError):
+        ast.StringDef("$a", ast.TEXT, "x", modifiers=("bogus",))

@@ -1,0 +1,80 @@
+"""Tests for YARA serialisation and the builder API."""
+
+import pytest
+
+from repro.yarax import compile_source, parse_source, serialize_rule
+from repro.yarax.serializer import YaraRuleBuilder
+
+
+def test_builder_produces_compilable_rule():
+    source = (
+        YaraRuleBuilder("demo_rule")
+        .meta("description", "test rule")
+        .text_string("os.system(", nocase=False)
+        .regex_string(r"exec\(base64")
+        .condition_any_of_them()
+        .to_source()
+    )
+    ruleset = compile_source(source)
+    assert ruleset.rule_names() == ["demo_rule"]
+
+
+def test_builder_sanitises_rule_name():
+    builder = YaraRuleBuilder("bad name-with.chars")
+    assert builder.name.isidentifier()
+
+
+def test_builder_n_of_them_condition():
+    source = (
+        YaraRuleBuilder("r")
+        .text_string("a").text_string("b").text_string("c")
+        .condition_n_of_them(2)
+        .to_source()
+    )
+    assert "2 of them" in source
+    compile_source(source)
+
+
+def test_builder_default_condition_is_any_of_them():
+    source = YaraRuleBuilder("r").text_string("x").to_source()
+    assert "any of them" in source
+
+
+def test_serialized_rule_round_trips_through_parser():
+    source = (
+        YaraRuleBuilder("roundtrip")
+        .meta("description", 'quotes "inside" and \\ backslash')
+        .meta("count", 3)
+        .meta("flag", True)
+        .text_string('path\\with\\backslash', nocase=True)
+        .text_string('multi\nline')
+        .condition_any_of_them()
+        .to_source()
+    )
+    parsed = parse_source(source)[0]
+    assert parsed.meta["count"] == 3
+    assert parsed.meta["flag"] is True
+    assert parsed.strings[0].value == "path\\with\\backslash"
+    assert parsed.strings[1].value == "multi\nline"
+    # serialising the parsed AST again produces identical text (fixed point)
+    assert serialize_rule(parsed) == source
+
+
+def test_escaped_strings_still_match_original_text():
+    value = 'requests.post("https://x.example/api", json=data)'
+    source = YaraRuleBuilder("escaping").text_string(value).condition_any_of_them().to_source()
+    ruleset = compile_source(source)
+    assert ruleset.match("prefix " + value + " suffix")
+
+
+def test_builder_string_identifiers_are_unique():
+    builder = YaraRuleBuilder("r").text_string("a").text_string("b").regex_string("c")
+    identifiers = builder.string_identifiers
+    assert len(identifiers) == len(set(identifiers)) == 3
+
+
+def test_serialize_rule_requires_known_nodes():
+    rule = parse_source('rule x { strings: $a = "v" condition: $a }')[0]
+    rule.condition = object()  # type: ignore[assignment]
+    with pytest.raises(TypeError):
+        serialize_rule(rule)
