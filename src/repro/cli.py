@@ -14,6 +14,11 @@ Three subcommands cover the common workflows:
 ``rulellm evaluate``
     Regenerate the paper's headline comparison (Table VIII) at a chosen
     corpus scale.
+
+``rulellm scan-batch``
+    Scan many packages at once through the :mod:`repro.scanserve` service:
+    atom-prefilter index, result cache and a sharded worker pool, with a
+    throughput summary and optional JSON report.
 """
 
 from __future__ import annotations
@@ -45,6 +50,23 @@ def _add_scan(subparsers) -> None:
     parser = subparsers.add_parser("scan", help="scan unpacked packages with generated rules")
     parser.add_argument("--rules", required=True, help="directory written by 'rulellm generate'")
     parser.add_argument("targets", nargs="+", help="unpacked package directories to scan")
+
+
+def _add_scan_batch(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "scan-batch", help="scan many packages through the scanserve service"
+    )
+    parser.add_argument("--rules", required=True, help="directory written by 'rulellm generate'")
+    parser.add_argument("targets", nargs="+",
+                        help="unpacked package directories, or directories of package directories")
+    parser.add_argument("--shards", type=int, default=4, help="worker shards (default 4)")
+    parser.add_argument("--mode", choices=["auto", "process", "inprocess"], default="auto",
+                        help="worker pool mode (default auto: multiprocessing with in-process fallback)")
+    parser.add_argument("--threshold", type=int, default=1,
+                        help="rules that must fire to call a package malicious (default 1)")
+    parser.add_argument("--no-index", action="store_true",
+                        help="disable the atom-prefilter index (naive per-rule scanning)")
+    parser.add_argument("--json", default=None, help="write the full batch report to this file")
 
 
 def _add_evaluate(subparsers) -> None:
@@ -96,6 +118,95 @@ def _cmd_scan(args) -> int:
     return exit_code
 
 
+_PACKAGE_MARKER_NAMES = {"PKG-INFO", "METADATA", "setup.py", "setup.cfg", "pyproject.toml"}
+
+
+def _looks_like_package_dir(root: Path) -> bool:
+    """A directory is one unpacked package when it carries source files or
+    registry metadata at its top level; a corpus directory holds package
+    subdirectories and at most stray non-source files (READMEs, indexes)."""
+    for entry in root.iterdir():
+        if entry.is_file() and (
+            entry.suffix in (".py", ".js") or entry.name in _PACKAGE_MARKER_NAMES
+        ):
+            return True
+    return not any(entry.is_dir() for entry in root.iterdir())
+
+
+def _discover_package_dirs(targets: list[str]) -> list[Path]:
+    """Resolve targets: a package directory, or a directory of package dirs."""
+    discovered: list[Path] = []
+    for target in targets:
+        root = Path(target)
+        if not root.is_dir():
+            raise FileNotFoundError(f"not a directory: {target}")
+        if _looks_like_package_dir(root):
+            discovered.append(root)
+        else:
+            skipped = sorted(p.name for p in root.iterdir() if p.is_file())
+            if skipped:
+                print(
+                    f"note: treating {root} as a directory of packages; "
+                    f"ignoring stray files: {', '.join(skipped[:5])}",
+                    file=sys.stderr,
+                )
+            discovered.extend(sorted(p for p in root.iterdir() if p.is_dir()))
+    return discovered
+
+
+def _cmd_scan_batch(args) -> int:
+    from repro.scanserve import ScanService, ScanServiceConfig
+
+    ruleset = GeneratedRuleSet.load(args.rules)
+    if not ruleset.rules:
+        print(f"no rules found under {args.rules}", file=sys.stderr)
+        return 1
+    try:
+        package_dirs = _discover_package_dirs(args.targets)
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    if not package_dirs:
+        print("no package directories found", file=sys.stderr)
+        return 1
+    packages = [load_package_from_directory(path) for path in package_dirs]
+
+    service = ScanService(
+        config=ScanServiceConfig(
+            shards=max(1, args.shards),
+            mode=args.mode,
+            match_threshold=max(1, args.threshold),
+            use_index=not args.no_index,
+        )
+    )
+    version = service.publish_generated(ruleset, label=str(args.rules))
+    print(f"published ruleset {version.describe()}")
+    batch = service.scan_batch(packages)
+
+    malicious = 0
+    for path, detection in zip(package_dirs, batch.detections):
+        verdict = "MALICIOUS" if detection.predicted(batch.result.match_threshold) else "clean"
+        if verdict == "MALICIOUS":
+            malicious += 1
+        matched = ", ".join(detection.matched_rules[:5]) or "-"
+        print(f"{path}: {verdict} ({detection.match_count} rules matched: {matched})")
+
+    print(
+        f"\nscanned {batch.packages} packages in {batch.elapsed_seconds:.3f}s "
+        f"({batch.packages_per_second:.1f} pkg/s, mode={batch.mode}, "
+        f"workers={batch.workers}, cache hits={batch.cache_hits})"
+    )
+    for shard in batch.shard_stats:
+        print(
+            f"  shard {shard.shard_id}: {shard.packages} packages in "
+            f"{shard.seconds:.3f}s ({shard.packages_per_second:.1f} pkg/s)"
+        )
+    if args.json:
+        Path(args.json).write_text(batch.to_json() + "\n", encoding="utf-8")
+        print(f"wrote report to {args.json}")
+    return 2 if malicious else 0
+
+
 def _cmd_evaluate(args) -> int:
     dataset_config = DatasetConfig(scale=args.scale, seed=args.seed)
     if args.scale < 0.5:
@@ -111,12 +222,15 @@ def main(argv: list[str] | None = None) -> int:
     subparsers = parser.add_subparsers(dest="command", required=True)
     _add_generate(subparsers)
     _add_scan(subparsers)
+    _add_scan_batch(subparsers)
     _add_evaluate(subparsers)
     args = parser.parse_args(argv)
     if args.command == "generate":
         return _cmd_generate(args)
     if args.command == "scan":
         return _cmd_scan(args)
+    if args.command == "scan-batch":
+        return _cmd_scan_batch(args)
     if args.command == "evaluate":
         return _cmd_evaluate(args)
     parser.error(f"unknown command {args.command!r}")

@@ -6,17 +6,118 @@ registry-metadata JSON (metadata-derived rules match there, mirroring how the
 paper's rules fire on registry information); Semgrep scans the package's
 Python AST.  A package is classified malicious when at least
 ``match_threshold`` rules fire.
+
+Scan inputs (the YARA haystack and the parsed Semgrep target) are built once
+per package via :class:`PreparedPackage` and reused across rule sets — the
+evaluation suite scans the same corpus with many scanners, and
+:mod:`repro.scanserve` scans the same package against many ruleset versions.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
+from typing import Iterable, Optional, Union
 
 from repro.corpus.package import Package
 from repro.evaluation.metrics import ConfusionMatrix
 from repro.extraction.metadata import extract_metadata
 from repro.semgrepx import CompiledSemgrepRuleSet, ScanTarget
+from repro.utils.hashing import stable_digest
 from repro.yarax import CompiledRuleSet
+
+
+class PreparedPackage:
+    """Per-package scan inputs, computed lazily and cached.
+
+    Building the YARA haystack re-serialises the registry metadata and the
+    Semgrep target re-parses every Python file; doing that once per package
+    (instead of once per package *per rule set*) is the detector hot-path fix.
+    """
+
+    def __init__(self, package: Package, include_metadata_in_text: bool = True) -> None:
+        self.package = package
+        self.include_metadata_in_text = include_metadata_in_text
+        self._yara_text: Optional[str] = None
+        self._target: Optional[ScanTarget] = None
+        self._fingerprint: Optional[str] = None
+        self._metadata_json: Optional[str] = None
+        self.prepare_seconds = 0.0
+
+    @property
+    def metadata_json(self) -> str:
+        """The extracted registry metadata, serialised once and shared by the
+        YARA haystack and the cache fingerprint."""
+        if self._metadata_json is None:
+            self._metadata_json = extract_metadata(self.package).to_json()
+        return self._metadata_json
+
+    @property
+    def yara_text(self) -> str:
+        """The haystack YARA rules scan (package text plus metadata JSON)."""
+        if self._yara_text is None:
+            start = time.perf_counter()
+            text = self.package.all_text
+            if self.include_metadata_in_text:
+                text = text + "\n" + self.metadata_json
+            self._yara_text = text
+            self.prepare_seconds += time.perf_counter() - start
+        return self._yara_text
+
+    @property
+    def target(self) -> ScanTarget:
+        """The parsed Semgrep scan target."""
+        if self._target is None:
+            start = time.perf_counter()
+            self._target = ScanTarget.from_package(self.package)
+            self.prepare_seconds += time.perf_counter() - start
+        return self._target
+
+    @property
+    def fingerprint(self) -> str:
+        """Content digest identifying the scan inputs (for result caching).
+
+        Covers file paths *and* contents, the metadata JSON and the scan
+        configuration — two packages scan identically iff their fingerprints
+        are equal.
+        """
+        if self._fingerprint is None:
+            parts = [self.package.identifier, str(self.include_metadata_in_text)]
+            for f in self.package.files:
+                parts.append(f.path)
+                parts.append(f.content)
+            parts.append(self.metadata_json)
+            self._fingerprint = stable_digest("\x00".join(parts))
+        return self._fingerprint
+
+
+def prepare_packages(
+    packages: Iterable[Package], include_metadata_in_text: bool = True
+) -> list[PreparedPackage]:
+    """Prepare a whole corpus for repeated scanning."""
+    return [PreparedPackage(p, include_metadata_in_text) for p in packages]
+
+
+@dataclass
+class ScanTimings:
+    """Wall-clock breakdown of a corpus scan (seconds)."""
+
+    prepare_seconds: float = 0.0
+    yara_seconds: float = 0.0
+    semgrep_seconds: float = 0.0
+    total_seconds: float = 0.0
+    packages: int = 0
+
+    @property
+    def packages_per_second(self) -> float:
+        return self.packages / self.total_seconds if self.total_seconds > 0 else 0.0
+
+    def merge(self, other: "ScanTimings") -> None:
+        self.prepare_seconds += other.prepare_seconds
+        self.yara_seconds += other.yara_seconds
+        self.semgrep_seconds += other.semgrep_seconds
+        self.total_seconds += other.total_seconds
+        self.packages += other.packages
 
 
 @dataclass
@@ -27,6 +128,7 @@ class PackageDetection:
     actual_malicious: bool
     yara_rules: list[str] = field(default_factory=list)
     semgrep_rules: list[str] = field(default_factory=list)
+    scan_seconds: float = field(default=0.0, compare=False)
 
     @property
     def matched_rules(self) -> list[str]:
@@ -46,6 +148,7 @@ class DetectionResult:
 
     detections: list[PackageDetection] = field(default_factory=list)
     match_threshold: int = 1
+    timings: ScanTimings = field(default_factory=ScanTimings, compare=False)
 
     def confusion(self, threshold: int | None = None) -> ConfusionMatrix:
         threshold = self.match_threshold if threshold is None else threshold
@@ -71,7 +174,13 @@ class DetectionResult:
 
 
 class RuleScanner:
-    """Scan packages with compiled YARA and/or Semgrep rule sets."""
+    """Scan packages with compiled YARA and/or Semgrep rule sets.
+
+    When ``index`` is given (a :class:`repro.scanserve.RuleIndex` built over
+    the same rule sets) matching is delegated to it: the index prefilters
+    rules by literal atoms and only fully evaluates candidates, producing
+    identical detections much faster on large rule sets.
+    """
 
     def __init__(
         self,
@@ -79,6 +188,7 @@ class RuleScanner:
         semgrep_rules: CompiledSemgrepRuleSet | None = None,
         match_threshold: int = 1,
         include_metadata_in_text: bool = True,
+        index: "object | None" = None,
     ) -> None:
         if yara_rules is None and semgrep_rules is None:
             raise ValueError("RuleScanner needs at least one rule set")
@@ -86,30 +196,80 @@ class RuleScanner:
         self.semgrep_rules = semgrep_rules
         self.match_threshold = match_threshold
         self.include_metadata_in_text = include_metadata_in_text
+        self.index = index
+
+    @classmethod
+    def with_index(
+        cls,
+        yara_rules: CompiledRuleSet | None = None,
+        semgrep_rules: CompiledSemgrepRuleSet | None = None,
+        match_threshold: int = 1,
+        include_metadata_in_text: bool = True,
+    ) -> "RuleScanner":
+        """Build a scanner that routes matching through an atom-prefilter index."""
+        from repro.scanserve import RuleIndex
+
+        return cls(
+            yara_rules=yara_rules,
+            semgrep_rules=semgrep_rules,
+            match_threshold=match_threshold,
+            include_metadata_in_text=include_metadata_in_text,
+            index=RuleIndex(yara=yara_rules, semgrep=semgrep_rules),
+        )
 
     # -- scanning ------------------------------------------------------------------
-    def scan_package(self, package: Package) -> PackageDetection:
+    def scan_package(
+        self, package: Union[Package, PreparedPackage], timings: ScanTimings | None = None
+    ) -> PackageDetection:
+        if isinstance(package, PreparedPackage):
+            prepared = package
+            if prepared.include_metadata_in_text != self.include_metadata_in_text:
+                # prepared under a different config: rebuild rather than
+                # silently scanning the wrong haystack
+                prepared = PreparedPackage(prepared.package, self.include_metadata_in_text)
+        else:
+            prepared = PreparedPackage(package, self.include_metadata_in_text)
+        started = time.perf_counter()
+        prepare_before = prepared.prepare_seconds
         detection = PackageDetection(
-            package=package.identifier, actual_malicious=package.is_malicious
+            package=prepared.package.identifier,
+            actual_malicious=prepared.package.is_malicious,
         )
         if self.yara_rules is not None and len(self.yara_rules):
-            text = package.all_text
-            if self.include_metadata_in_text:
-                text = text + "\n" + extract_metadata(package).to_json()
-            detection.yara_rules = sorted({m.rule_name for m in self.yara_rules.match(text)})
+            text = prepared.yara_text
+            yara_start = time.perf_counter()
+            if self.index is not None:
+                # names-only fast path: same verdicts, no RuleMatch payloads
+                names = set(self.index.yara_rule_names(text))
+            else:
+                names = {m.rule_name for m in self.yara_rules.match(text)}
+            detection.yara_rules = sorted(names)
+            if timings is not None:
+                timings.yara_seconds += time.perf_counter() - yara_start
         if self.semgrep_rules is not None and len(self.semgrep_rules):
-            target = ScanTarget.from_package(package)
-            detection.semgrep_rules = sorted(
-                {finding.rule_id for finding in self.semgrep_rules.match_target(target)}
-            )
+            target = prepared.target
+            semgrep_start = time.perf_counter()
+            if self.index is not None:
+                findings = self.index.match_semgrep(target)
+            else:
+                findings = self.semgrep_rules.match_target(target)
+            detection.semgrep_rules = sorted({finding.rule_id for finding in findings})
+            if timings is not None:
+                timings.semgrep_seconds += time.perf_counter() - semgrep_start
+        detection.scan_seconds = time.perf_counter() - started
+        if timings is not None:
+            timings.prepare_seconds += prepared.prepare_seconds - prepare_before
+            timings.packages += 1
         return detection
 
-    def scan(self, packages: list[Package]) -> DetectionResult:
+    def scan(self, packages: Iterable[Union[Package, PreparedPackage]]) -> DetectionResult:
         result = DetectionResult(match_threshold=self.match_threshold)
+        total_start = time.perf_counter()
         for package in packages:
-            result.detections.append(self.scan_package(package))
+            result.detections.append(self.scan_package(package, timings=result.timings))
+        result.timings.total_seconds = time.perf_counter() - total_start
         return result
 
-    def evaluate(self, packages: list[Package]) -> ConfusionMatrix:
+    def evaluate(self, packages: Iterable[Union[Package, PreparedPackage]]) -> ConfusionMatrix:
         """Scan and reduce straight to a confusion matrix."""
         return self.scan(packages).confusion()

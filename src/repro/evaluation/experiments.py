@@ -25,7 +25,12 @@ from repro.core.rules import GeneratedRuleSet
 from repro.core.taxonomy import RuleTaxonomyClassifier
 from repro.corpus.dataset import Dataset, DatasetConfig, build_dataset
 from repro.evaluation.coverage import CoverageCdf, coverage_cdf
-from repro.evaluation.detector import DetectionResult, RuleScanner
+from repro.evaluation.detector import (
+    DetectionResult,
+    PreparedPackage,
+    RuleScanner,
+    prepare_packages,
+)
 from repro.evaluation.matched_curve import MatchedCurve, matched_rule_curve
 from repro.evaluation.metrics import ConfusionMatrix
 from repro.evaluation.overlap import CategoryOverlap, category_overlap
@@ -278,22 +283,27 @@ class ExperimentSuite:
         return pipeline.generate_rules(self.dataset.malware)
 
     @cached_property
+    def prepared_packages(self) -> list[PreparedPackage]:
+        """Scan inputs built once and shared by every scanner in the suite."""
+        return prepare_packages(self.dataset.packages)
+
+    @cached_property
     def detection(self) -> DetectionResult:
         scanner = RuleScanner(
             yara_rules=self.ruleset.compile_yara(),
             semgrep_rules=self.ruleset.compile_semgrep(),
         )
-        return scanner.scan(self.dataset.packages)
+        return scanner.scan(self.prepared_packages)
 
     @cached_property
     def yara_detection(self) -> DetectionResult:
         scanner = RuleScanner(yara_rules=self.ruleset.compile_yara())
-        return scanner.scan(self.dataset.packages)
+        return scanner.scan(self.prepared_packages)
 
     @cached_property
     def semgrep_detection(self) -> DetectionResult:
         scanner = RuleScanner(semgrep_rules=self.ruleset.compile_semgrep())
-        return scanner.scan(self.dataset.packages)
+        return scanner.scan(self.prepared_packages)
 
     @cached_property
     def yara_rule_stats(self) -> list[PerRuleStats]:
@@ -322,19 +332,19 @@ class ExperimentSuite:
 
         yara_scanner = build_yara_scanner()
         scanner = RuleScanner(yara_rules=yara_scanner.yara)
-        result.rows.append(MetricsRow("Yara scanner", scanner.evaluate(self.dataset.packages),
+        result.rows.append(MetricsRow("Yara scanner", scanner.evaluate(self.prepared_packages),
                                       PAPER_TABLE_VIII["Yara scanner"]))
 
         semgrep_scanner = build_semgrep_scanner()
         scanner = RuleScanner(semgrep_rules=semgrep_scanner.semgrep)
-        result.rows.append(MetricsRow("Semgrep scanner", scanner.evaluate(self.dataset.packages),
+        result.rows.append(MetricsRow("Semgrep scanner", scanner.evaluate(self.prepared_packages),
                                       PAPER_TABLE_VIII["Semgrep scanner"]))
 
         score_based = ScoreBasedRuleGenerator().generate(self.dataset.malware, self.dataset.benign)
         compiled = score_based.compile()
         if len(compiled):
             scanner = RuleScanner(yara_rules=compiled)
-            metrics = scanner.evaluate(self.dataset.packages)
+            metrics = scanner.evaluate(self.prepared_packages)
         else:
             metrics = ConfusionMatrix()
         result.rows.append(MetricsRow("Score-based", metrics, PAPER_TABLE_VIII["Score-based"]))
@@ -355,7 +365,7 @@ class ExperimentSuite:
             ruleset = RuleLLM(config).generate_rules(self.dataset.malware)
             scanner = RuleScanner(yara_rules=ruleset.compile_yara(),
                                   semgrep_rules=ruleset.compile_semgrep())
-            metrics = scanner.evaluate(self.dataset.packages)
+            metrics = scanner.evaluate(self.prepared_packages)
             display = paper_names.get(model, model)
             result.rows.append(MetricsRow(display, metrics, PAPER_TABLE_IX.get(display)))
         return result
@@ -383,7 +393,7 @@ class ExperimentSuite:
             else:
                 scanner = RuleScanner(yara_rules=yara if len(yara) else None,
                                       semgrep_rules=semgrep if len(semgrep) else None)
-                metrics = scanner.evaluate(self.dataset.packages)
+                metrics = scanner.evaluate(self.prepared_packages)
             result.rows.append(MetricsRow(name, metrics, PAPER_TABLE_X.get(name)))
         return result
 

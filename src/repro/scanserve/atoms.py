@@ -1,0 +1,174 @@
+"""Literal-atom extraction from compiled rules.
+
+Real YARA achieves registry-scale throughput by never running most rules:
+it extracts short literal *atoms* from every string, feeds them to an
+Aho–Corasick automaton, and only evaluates a rule when one of its atoms
+appeared in the scanned data.  This module computes the equivalent atoms for
+the two in-repo engines:
+
+* **yarax** — a rule is indexable when its condition provably requires at
+  least one string match (:func:`guaranteed_identifiers`) and every string
+  that could satisfy that requirement exposes a required literal
+  (:meth:`repro.yarax.matcher.CompiledString.atoms`);
+* **semgrepx** — a rule is indexable through its pattern anchors (the same
+  literals ``match_target`` already prefilters on), or through the required
+  literals of a ``pattern-regex``-only rule.
+
+The contract is *soundness*: if a rule would fire on some text, at least one
+of its atoms occurs in that text (case-insensitively — the index casefolds
+both atoms and haystacks).  Rules for which no such guarantee can be proven
+are reported non-indexable and scanned unconditionally in a fallback lane,
+so indexed scanning is always bit-for-bit identical to naive scanning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.semgrepx.compiler import CompiledSemgrepRule
+from repro.yarax import ast_nodes as ast
+from repro.yarax.compiler import CompiledRule
+from repro.yarax.matcher import required_literal_runs
+
+YARA = "yara"
+SEMGREP = "semgrep"
+
+DEFAULT_MIN_ATOM_LENGTH = 3
+
+
+@dataclass(frozen=True)
+class RuleAtoms:
+    """The prefilter atoms of one rule (or the reason it has none)."""
+
+    engine: str
+    rule_key: str
+    atoms: tuple[str, ...] = ()  # casefolded
+    indexable: bool = False
+    reason: str = ""
+
+
+def _resolve_of_identifiers(of_expr: ast.OfExpr, all_identifiers: list[str]) -> list[str]:
+    if of_expr.string_set.them:
+        return list(all_identifiers)
+    resolved: list[str] = []
+    for member in of_expr.string_set.members:
+        if member.endswith("*"):
+            prefix = member[:-1]
+            resolved.extend(i for i in all_identifiers if i.startswith(prefix))
+        else:
+            resolved.append(member)
+    return resolved
+
+
+def _count_comparison_identifier(expr: ast.Comparison) -> Optional[str]:
+    """``#a OP k`` forms that imply at least one match of ``$a``, else None."""
+    count, literal, op = None, None, expr.op
+    if isinstance(expr.left, ast.StringCount) and isinstance(expr.right, ast.IntLiteral):
+        count, literal = expr.left, expr.right
+    elif isinstance(expr.left, ast.IntLiteral) and isinstance(expr.right, ast.StringCount):
+        count, literal = expr.right, expr.left
+        op = {"<": ">", ">": "<", "<=": ">=", ">=": "<="}.get(op, op)
+    if count is None or literal is None:
+        return None
+    k = literal.value
+    if (op == ">" and k >= 0) or (op == ">=" and k >= 1) or (op == "==" and k >= 1):
+        return count.identifier
+    return None
+
+
+def guaranteed_identifiers(
+    expr: ast.Expression, all_identifiers: list[str]
+) -> Optional[set[str]]:
+    """A set of strings of which at least one must match for ``expr`` to hold.
+
+    Returns ``None`` when no such set can be proven (e.g. the condition
+    contains ``not``, ``filesize`` arithmetic, or a bare boolean) — those
+    rules can fire with zero string matches and must bypass the prefilter.
+    """
+    if isinstance(expr, ast.StringRef):
+        return {expr.identifier}
+    if isinstance(expr, ast.AndExpr):
+        candidates = [
+            s for s in (guaranteed_identifiers(op, all_identifiers) for op in expr.operands)
+            if s is not None
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=len)  # any operand's guarantee suffices
+    if isinstance(expr, ast.OrExpr):
+        union: set[str] = set()
+        for operand in expr.operands:
+            guaranteed = guaranteed_identifiers(operand, all_identifiers)
+            if guaranteed is None:
+                return None  # one branch can fire without strings
+            union |= guaranteed
+        return union or None
+    if isinstance(expr, ast.OfExpr):
+        if isinstance(expr.quantifier, int) and expr.quantifier < 1:
+            return None  # '0 of them' is vacuously true
+        identifiers = _resolve_of_identifiers(expr, all_identifiers)
+        return set(identifiers) or None
+    if isinstance(expr, ast.Comparison):
+        identifier = _count_comparison_identifier(expr)
+        return {identifier} if identifier is not None else None
+    # BoolLiteral / IntLiteral / Filesize / NotExpr / unknown: no guarantee
+    return None
+
+
+def yara_rule_atoms(
+    rule: CompiledRule, min_length: int = DEFAULT_MIN_ATOM_LENGTH
+) -> RuleAtoms:
+    """Extract the prefilter atoms of one compiled YARA rule."""
+    identifiers = [cs.identifier for cs in rule.strings]
+    if rule.ast.condition is None:  # pragma: no cover - compiler rejects this
+        return RuleAtoms(YARA, rule.name, reason="rule has no condition")
+    guaranteed = guaranteed_identifiers(rule.ast.condition, identifiers)
+    if guaranteed is None:
+        return RuleAtoms(
+            YARA, rule.name, reason="condition can hold without any string match"
+        )
+    by_identifier = {cs.identifier: cs for cs in rule.strings}
+    atoms: set[str] = set()
+    for identifier in sorted(guaranteed):
+        compiled_string = by_identifier.get(identifier)
+        if compiled_string is None:  # pragma: no cover - compiler rejects this
+            return RuleAtoms(YARA, rule.name, reason=f"undefined string {identifier}")
+        string_atoms = compiled_string.atoms(min_length)
+        if not string_atoms:
+            return RuleAtoms(
+                YARA,
+                rule.name,
+                reason=f"string {identifier} has no literal atom of length >= {min_length}",
+            )
+        # one atom per string suffices for the guarantee; keeping the longest
+        # (most selective) literal keeps the automaton small
+        atoms.add(max(string_atoms, key=len).casefold())
+    if not atoms:
+        return RuleAtoms(YARA, rule.name, reason="no guaranteed strings")
+    return RuleAtoms(YARA, rule.name, atoms=tuple(sorted(atoms)), indexable=True)
+
+
+def semgrep_rule_atoms(
+    rule: CompiledSemgrepRule, min_length: int = DEFAULT_MIN_ATOM_LENGTH
+) -> RuleAtoms:
+    """Extract the prefilter atoms of one compiled Semgrep rule.
+
+    Anchor-based rules reuse the anchors ``match_target`` itself prefilters
+    on (whatever their length — dropping a short anchor would break the
+    soundness guarantee).  Rules whose only operator is ``pattern-regex``
+    are indexed through the regex's required literals.
+    """
+    if rule.anchors:
+        atoms = tuple(sorted(anchor.casefold() for anchor in rule.anchors))
+        return RuleAtoms(SEMGREP, rule.id, atoms=atoms, indexable=True)
+    has_structural = bool(rule.either_patterns or rule.all_patterns)
+    if not has_structural and rule.regex is not None:
+        runs = [r for r in required_literal_runs(rule.regex.pattern) if len(r) >= min_length]
+        if runs:
+            atom = max(runs, key=len).casefold()
+            return RuleAtoms(SEMGREP, rule.id, atoms=(atom,), indexable=True)
+        return RuleAtoms(
+            SEMGREP, rule.id, reason="pattern-regex has no required literal"
+        )
+    return RuleAtoms(SEMGREP, rule.id, reason="patterns expose no anchors")

@@ -1,0 +1,397 @@
+"""Atom-prefilter rule index.
+
+:class:`AhoCorasick` is a classic goto/fail automaton over the atom
+vocabulary; one pass over the haystack reports every atom that occurs.
+:class:`RuleIndex` maps those hits back to candidate rules and fully
+evaluates *only* the candidates (plus the fallback lane of rules that
+exposed no atoms), which keeps indexed scanning bit-for-bit identical to
+naive scanning while skipping the vast majority of rule evaluations.
+
+Performance note: below a few hundred atoms, a per-atom C-speed substring
+scan (``atom in text``) beats stepping a pure-Python automaton through the
+haystack character by character, so :meth:`AhoCorasick.find` picks the
+strategy by vocabulary size.  Both strategies return identical hit sets
+(property-tested); the automaton is the asymptotic lane for large registries
+of rules.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.scanserve.atoms import (
+    DEFAULT_MIN_ATOM_LENGTH,
+    RuleAtoms,
+    semgrep_rule_atoms,
+    yara_rule_atoms,
+)
+from repro.semgrepx.compiler import CompiledSemgrepRule, CompiledSemgrepRuleSet
+from repro.semgrepx.matcher import ScanTarget, SemgrepFinding
+from repro.yarax import ast_nodes as yast
+from repro.yarax.compiler import CompiledRule, CompiledRuleSet
+from repro.yarax.matcher import CompiledString, ConditionEvaluator, RuleMatch
+
+# below this many atoms, per-atom ``str.find`` (C speed) beats the
+# pure-Python automaton walk; above it the O(n) automaton wins
+AUTOMATON_THRESHOLD = 512
+
+
+class AhoCorasick:
+    """Multi-pattern literal matcher (goto/fail automaton)."""
+
+    def __init__(self, words: Iterable[str]) -> None:
+        self.words: list[str] = []
+        seen: dict[str, int] = {}
+        for word in words:
+            if not word:
+                raise ValueError("cannot index an empty atom")
+            if word not in seen:
+                seen[word] = len(self.words)
+                self.words.append(word)
+        # trie: per-state dict of char -> next state
+        self._goto: list[dict[str, int]] = [{}]
+        self._output: list[list[int]] = [[]]
+        for word_id, word in enumerate(self.words):
+            state = 0
+            for char in word:
+                nxt = self._goto[state].get(char)
+                if nxt is None:
+                    nxt = len(self._goto)
+                    self._goto[state][char] = nxt
+                    self._goto.append({})
+                    self._output.append([])
+                state = nxt
+            self._output[state].append(word_id)
+        # BFS failure links; outputs are merged so a state reports every
+        # word ending at it (including proper suffixes)
+        self._fail: list[int] = [0] * len(self._goto)
+        queue: deque[int] = deque()
+        for state in self._goto[0].values():
+            queue.append(state)
+        while queue:
+            state = queue.popleft()
+            for char, nxt in self._goto[state].items():
+                queue.append(nxt)
+                fallback = self._fail[state]
+                while fallback and char not in self._goto[fallback]:
+                    fallback = self._fail[fallback]
+                self._fail[nxt] = self._goto[fallback].get(char, 0)
+                if self._fail[nxt] == nxt:
+                    self._fail[nxt] = 0
+                self._output[nxt].extend(self._output[self._fail[nxt]])
+
+    def __len__(self) -> int:
+        return len(self.words)
+
+    @property
+    def state_count(self) -> int:
+        return len(self._goto)
+
+    # -- scanning ---------------------------------------------------------------
+    def find_automaton(self, text: str) -> set[int]:
+        """One automaton pass; returns the ids of every word occurring in text."""
+        hits: set[int] = set()
+        pending = len(self.words)
+        state = 0
+        goto, fail, output = self._goto, self._fail, self._output
+        for char in text:
+            while state and char not in goto[state]:
+                state = fail[state]
+            state = goto[state].get(char, 0)
+            if output[state]:
+                for word_id in output[state]:
+                    if word_id not in hits:
+                        hits.add(word_id)
+                        pending -= 1
+                if not pending:
+                    break  # every word already found
+        return hits
+
+    def find_substring(self, text: str) -> set[int]:
+        """Per-atom C-speed substring scan; same result as the automaton."""
+        return {i for i, word in enumerate(self.words) if word in text}
+
+    def find(self, text: str) -> set[int]:
+        if len(self.words) >= AUTOMATON_THRESHOLD:
+            return self.find_automaton(text)
+        return self.find_substring(text)
+
+
+class _LazyConditionEvaluator(ConditionEvaluator):
+    """Condition evaluation that only runs the string scans it needs.
+
+    Naive scanning collects *every* occurrence of *every* string before
+    evaluating the condition.  Here a string whose gate atom was absent from
+    the scanned text is known unmatchable without running its regex at all;
+    the remaining strings are probed lazily — an existence check
+    (``re.search``, early exit) unless the condition genuinely needs a count.
+    The verdict is exactly :class:`ConditionEvaluator`'s (corpus- and
+    property-tested); only the work to reach it changes.
+    """
+
+    def __init__(self, strings: list[CompiledString], data: str, blocked: set[str]) -> None:
+        super().__init__(
+            matches_by_id={},
+            all_identifiers=[cs.identifier for cs in strings],
+            data_length=len(data),
+        )
+        self._strings = {cs.identifier: cs for cs in strings}
+        self._data = data
+        self._blocked = blocked
+        self._exists: dict[str, bool] = {}
+        self._counts: dict[str, int] = {}
+
+    def _string_exists(self, identifier: str) -> bool:
+        cached = self._exists.get(identifier)
+        if cached is None:
+            if identifier in self._blocked or identifier not in self._strings:
+                cached = False
+            else:
+                cached = self._strings[identifier].search(self._data)
+            self._exists[identifier] = cached
+        return cached
+
+    def _string_count(self, identifier: str) -> int:
+        cached = self._counts.get(identifier)
+        if cached is None:
+            if identifier in self._blocked or identifier not in self._strings:
+                cached = 0
+            else:
+                # same 1000-occurrence cap as CompiledString.find's default
+                cached = len(self._strings[identifier].find(self._data))
+            self._counts[identifier] = cached
+        return cached
+
+    def _eval(self, expr):
+        if isinstance(expr, yast.StringRef):
+            return self._string_exists(expr.identifier)
+        if isinstance(expr, yast.StringCount):
+            return self._string_count(expr.identifier)
+        return super()._eval(expr)
+
+    def _eval_of(self, expr: yast.OfExpr) -> bool:
+        if expr.string_set.them:
+            identifiers = list(self.all_identifiers)
+        else:
+            identifiers = []
+            for member in expr.string_set.members:
+                if member.endswith("*"):
+                    prefix = member[:-1]
+                    identifiers.extend(i for i in self.all_identifiers if i.startswith(prefix))
+                else:
+                    identifiers.append(member)
+        total = len(identifiers)
+        if expr.quantifier == "any":
+            return any(self._string_exists(i) for i in identifiers)
+        if expr.quantifier == "all":
+            return total > 0 and all(self._string_exists(i) for i in identifiers)
+        needed = int(expr.quantifier)
+        matched = 0
+        for remaining, identifier in zip(range(total, 0, -1), identifiers):
+            if matched + remaining < needed:
+                break  # cannot reach the quantifier any more
+            if self._string_exists(identifier):
+                matched += 1
+                if matched >= needed:
+                    return True
+        return matched >= needed
+
+
+@dataclass
+class IndexStats:
+    """How much of a rule set the index can prefilter."""
+
+    yara_rules: int = 0
+    yara_indexed: int = 0
+    semgrep_rules: int = 0
+    semgrep_indexed: int = 0
+    atoms: int = 0
+    automaton_states: int = 0
+
+    @property
+    def indexed_fraction(self) -> float:
+        total = self.yara_rules + self.semgrep_rules
+        if not total:
+            return 0.0
+        return (self.yara_indexed + self.semgrep_indexed) / total
+
+
+class RuleIndex:
+    """Prefilter index over a compiled YARA and/or Semgrep rule set.
+
+    ``match_yara`` / ``match_semgrep`` produce exactly what
+    ``CompiledRuleSet.match`` / ``CompiledSemgrepRuleSet.match_target``
+    would, in the same order — rules whose atoms did not occur are provably
+    unable to fire and are skipped without evaluation.
+    """
+
+    def __init__(
+        self,
+        yara: Optional[CompiledRuleSet] = None,
+        semgrep: Optional[CompiledSemgrepRuleSet] = None,
+        min_atom_length: int = DEFAULT_MIN_ATOM_LENGTH,
+    ) -> None:
+        self.yara = yara
+        self.semgrep = semgrep
+        self.min_atom_length = min_atom_length
+        self.rule_atoms: list[RuleAtoms] = []
+
+        vocabulary: dict[str, int] = {}
+        # atom id -> rule slots; a slot is ("yara"|"semgrep", position)
+        postings: dict[int, list[tuple[str, int]]] = {}
+        self._fallback_yara: list[int] = []
+        self._fallback_semgrep: list[int] = []
+
+        def register(atoms: RuleAtoms, engine: str, position: int) -> None:
+            self.rule_atoms.append(atoms)
+            if not atoms.indexable:
+                if engine == "yara":
+                    self._fallback_yara.append(position)
+                else:
+                    self._fallback_semgrep.append(position)
+                return
+            for atom in atoms.atoms:
+                atom_id = vocabulary.setdefault(atom, len(vocabulary))
+                postings.setdefault(atom_id, []).append((engine, position))
+
+        # per-rule string gates: identifier -> one required (casefolded)
+        # literal.  A gated string whose literal is absent from the scanned
+        # text cannot match, so its regex is never run (YARA's atom->confirm
+        # strategy).  Gates are checked on demand per candidate — only
+        # rule-candidacy atoms go through the automaton pass.
+        self._yara_gates: list[dict[str, str]] = []
+
+        for position, rule in enumerate(yara.rules if yara is not None else []):
+            register(yara_rule_atoms(rule, min_atom_length), "yara", position)
+            gates: dict[str, str] = {}
+            for compiled_string in rule.strings:
+                string_atoms = compiled_string.atoms(min_atom_length)
+                if string_atoms:
+                    gates[compiled_string.identifier] = max(
+                        string_atoms, key=len
+                    ).casefold()
+            self._yara_gates.append(gates)
+        for position, rule in enumerate(semgrep.rules if semgrep is not None else []):
+            register(semgrep_rule_atoms(rule, min_atom_length), "semgrep", position)
+
+        self._automaton = AhoCorasick(vocabulary.keys())
+        self._postings = postings
+
+    # -- candidate selection ------------------------------------------------------
+    def _positions(self, hits: set[int], engine: str, fallback: list[int]) -> list[int]:
+        positions = set(fallback)
+        for atom_id in hits:
+            for posting_engine, position in self._postings.get(atom_id, []):
+                if posting_engine == engine:
+                    positions.add(position)
+        return sorted(positions)
+
+    def candidate_yara_rules(self, text: str) -> list[CompiledRule]:
+        """The only YARA rules that can possibly fire on ``text`` (in rule order)."""
+        if self.yara is None:
+            return []
+        hits = self._automaton.find(text.casefold())
+        rules = self.yara.rules
+        return [rules[i] for i in self._positions(hits, "yara", self._fallback_yara)]
+
+    def candidate_semgrep_rules(self, target: ScanTarget) -> list[CompiledSemgrepRule]:
+        """The only Semgrep rules that can possibly fire on ``target``."""
+        if self.semgrep is None:
+            return []
+        hits = self._automaton.find(target.text.casefold())
+        rules = self.semgrep.rules
+        positions = self._positions(hits, "semgrep", self._fallback_semgrep)
+        return [rules[i] for i in positions]
+
+    # -- full matching ------------------------------------------------------------
+    def _firing_positions(self, text: str) -> list[int]:
+        """Positions of the YARA rules whose conditions hold on ``text``.
+
+        Two-stage evaluation: the atom hit set narrows the batch to candidate
+        rules, then each candidate's condition is decided by the lazy
+        evaluator — strings whose gate literal is absent are unmatchable
+        without running their regex, the rest are existence-probed with early
+        exit.  The verdicts are exactly those of naive scanning.
+        """
+        folded = text.casefold()
+        hits = self._automaton.find(folded)
+        # gate literals that double as candidacy atoms were just scanned;
+        # the rest are membership-checked on demand, memoised per call
+        gate_cache: dict[str, bool] = {
+            word: (word_id in hits) for word_id, word in enumerate(self._automaton.words)
+        }
+        firing: list[int] = []
+        rules = self.yara.rules
+        for position in self._positions(hits, "yara", self._fallback_yara):
+            rule = rules[position]
+            blocked: set[str] = set()
+            for identifier, atom in self._yara_gates[position].items():
+                present = gate_cache.get(atom)
+                if present is None:
+                    present = atom in folded
+                    gate_cache[atom] = present
+                if not present:
+                    blocked.add(identifier)
+            evaluator = _LazyConditionEvaluator(rule.strings, text, blocked)
+            if rule.ast.condition is not None and evaluator.evaluate(rule.ast.condition):
+                firing.append(position)
+        return firing
+
+    def yara_rule_names(self, text: str) -> list[str]:
+        """Names of the YARA rules that fire on ``text`` (in rule order).
+
+        The detection-service fast path: identical rule names to
+        ``CompiledRuleSet.match(text)`` without materialising the per-string
+        occurrence lists a full :class:`RuleMatch` carries.
+        """
+        if self.yara is None:
+            return []
+        rules = self.yara.rules
+        return [rules[position].name for position in self._firing_positions(text)]
+
+    def match_yara(self, text: str) -> list[RuleMatch]:
+        """Identical to ``CompiledRuleSet.match(text)``, prefilter included.
+
+        Only rules whose conditions verifiably hold pay for full occurrence
+        collection, so the expensive path runs exactly as often as there are
+        detections.
+        """
+        if self.yara is None:
+            return []
+        results: list[RuleMatch] = []
+        rules = self.yara.rules
+        for position in self._firing_positions(text):
+            found = rules[position].match(text)
+            if found is not None:
+                results.append(found)
+        return results
+
+    def match_semgrep(self, target: ScanTarget) -> list[SemgrepFinding]:
+        """Identical to ``CompiledSemgrepRuleSet.match_target(target)``."""
+        findings: list[SemgrepFinding] = []
+        for rule in self.candidate_semgrep_rules(target):
+            findings.extend(rule.match_target(target))
+        return findings
+
+    # -- introspection ------------------------------------------------------------
+    def stats(self) -> IndexStats:
+        yara_total = len(self.yara.rules) if self.yara is not None else 0
+        semgrep_total = len(self.semgrep.rules) if self.semgrep is not None else 0
+        return IndexStats(
+            yara_rules=yara_total,
+            yara_indexed=yara_total - len(self._fallback_yara),
+            semgrep_rules=semgrep_total,
+            semgrep_indexed=semgrep_total - len(self._fallback_semgrep),
+            atoms=len(self._automaton),
+            automaton_states=self._automaton.state_count,
+        )
+
+    def fallback_reasons(self) -> dict[str, str]:
+        """Why each non-indexable rule bypasses the prefilter."""
+        return {
+            atoms.rule_key: atoms.reason
+            for atoms in self.rule_atoms
+            if not atoms.indexable
+        }

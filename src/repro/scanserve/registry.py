@@ -1,0 +1,149 @@
+"""Versioned ruleset registry with atomic hot-swap.
+
+A long-running scanning service must pick up newly generated rule sets
+without dropping traffic: the pipeline publishes a new
+:class:`RulesetVersion` (rules + prebuilt prefilter index), and the registry
+swaps the *current* pointer atomically under a lock.  In-flight scans keep
+the version they resolved at entry; result caches key on the version number
+so stale entries can never serve a new ruleset's traffic.  Old versions stay
+addressable for rollback.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.scanserve.atoms import DEFAULT_MIN_ATOM_LENGTH
+from repro.scanserve.index import RuleIndex
+from repro.semgrepx.compiler import CompiledSemgrepRuleSet
+from repro.yarax.compiler import CompiledRuleSet
+
+
+@dataclass
+class RulesetVersion:
+    """An immutable published ruleset plus its prebuilt index."""
+
+    version: int
+    yara: Optional[CompiledRuleSet]
+    semgrep: Optional[CompiledSemgrepRuleSet]
+    index: RuleIndex
+    label: str = ""
+    created_at: float = field(default_factory=time.time)
+
+    @property
+    def rule_count(self) -> int:
+        yara = len(self.yara.rules) if self.yara is not None else 0
+        semgrep = len(self.semgrep.rules) if self.semgrep is not None else 0
+        return yara + semgrep
+
+    def describe(self) -> str:
+        stats = self.index.stats()
+        label = f" ({self.label})" if self.label else ""
+        return (
+            f"v{self.version}{label}: {self.rule_count} rules, "
+            f"{stats.atoms} atoms, {stats.indexed_fraction:.0%} indexed"
+        )
+
+
+class RulesetRegistry:
+    """Thread-safe registry of published ruleset versions."""
+
+    def __init__(self, min_atom_length: int = DEFAULT_MIN_ATOM_LENGTH) -> None:
+        self.min_atom_length = min_atom_length
+        self._lock = threading.Lock()
+        self._versions: dict[int, RulesetVersion] = {}
+        self._current: Optional[int] = None
+        self._next_version = 1
+
+    # -- publishing ---------------------------------------------------------------
+    def publish(
+        self,
+        yara: Optional[CompiledRuleSet] = None,
+        semgrep: Optional[CompiledSemgrepRuleSet] = None,
+        label: str = "",
+        activate: bool = True,
+    ) -> RulesetVersion:
+        """Publish a new version; the index is built before the swap so the
+        service never observes a half-initialised ruleset."""
+        if yara is None and semgrep is None:
+            raise ValueError("publish needs at least one rule set")
+        index = RuleIndex(yara=yara, semgrep=semgrep, min_atom_length=self.min_atom_length)
+        with self._lock:
+            version = RulesetVersion(
+                version=self._next_version,
+                yara=yara,
+                semgrep=semgrep,
+                index=index,
+                label=label,
+            )
+            self._next_version += 1
+            self._versions[version.version] = version
+            if activate:
+                self._current = version.version
+        return version
+
+    def publish_generated(self, ruleset, label: str = "", activate: bool = True) -> RulesetVersion:
+        """Publish a pipeline output (:class:`repro.core.rules.GeneratedRuleSet`).
+
+        Duck-typed so ``scanserve`` stays import-independent of the pipeline
+        layer: any object with ``yara_rules`` / ``semgrep_rules`` lists and
+        ``compile_yara()`` / ``compile_semgrep()`` works.
+        """
+        yara = ruleset.compile_yara() if ruleset.yara_rules else None
+        semgrep = ruleset.compile_semgrep() if ruleset.semgrep_rules else None
+        return self.publish(yara=yara, semgrep=semgrep, label=label, activate=activate)
+
+    # -- resolution ---------------------------------------------------------------
+    def current(self) -> RulesetVersion:
+        with self._lock:
+            if self._current is None:
+                raise LookupError("no ruleset has been published")
+            return self._versions[self._current]
+
+    def get(self, version: int) -> RulesetVersion:
+        with self._lock:
+            try:
+                return self._versions[version]
+            except KeyError:
+                raise LookupError(f"unknown ruleset version {version}") from None
+
+    def activate(self, version: int) -> RulesetVersion:
+        """Atomically point the service at an already-published version
+        (rollback or staged rollout)."""
+        with self._lock:
+            if version not in self._versions:
+                raise LookupError(f"unknown ruleset version {version}")
+            self._current = version
+            return self._versions[version]
+
+    def retire(self, version: int) -> None:
+        """Drop a non-current version (frees its index)."""
+        with self._lock:
+            if version == self._current:
+                raise ValueError(f"cannot retire the active version v{version}")
+            self._versions.pop(version, None)
+
+    # -- introspection ------------------------------------------------------------
+    def versions(self) -> list[int]:
+        with self._lock:
+            return sorted(self._versions)
+
+    def current_version(self) -> Optional[int]:
+        with self._lock:
+            return self._current
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._versions)
+
+    def describe(self) -> str:
+        with self._lock:
+            current = self._current
+            lines = []
+            for version in sorted(self._versions):
+                marker = "*" if version == current else " "
+                lines.append(f"{marker} {self._versions[version].describe()}")
+        return "\n".join(lines) if lines else "(empty registry)"

@@ -1,0 +1,203 @@
+"""Sharded execution of scan work.
+
+The scheduler splits a batch of packages into shards, runs a shard function
+over them on a worker pool, and reassembles results in submission order.
+Two execution lanes:
+
+* ``process`` — a :class:`concurrent.futures.ProcessPoolExecutor` with a
+  per-worker initializer (the compiled ruleset is shipped once per worker,
+  not once per task) and a bounded in-flight window: submission blocks when
+  ``max_pending`` shards are outstanding, so an arbitrarily large batch
+  never materialises an unbounded task queue (backpressure).
+* ``inprocess`` — the same shard function executed serially in the calling
+  process; the fallback for environments where forking/spawning is
+  unavailable and the deterministic lane the tests use.
+
+``auto`` tries the process pool and degrades to in-process on any pool
+failure; ``last_mode_used`` reports what actually ran.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence, TypeVar
+
+AUTO = "auto"
+PROCESS = "process"
+INPROCESS = "inprocess"
+_MODES = (AUTO, PROCESS, INPROCESS)
+
+ItemT = TypeVar("ItemT")
+
+
+@dataclass
+class ShardStats:
+    """Throughput and latency of one shard."""
+
+    shard_id: int
+    packages: int = 0
+    matched_packages: int = 0
+    seconds: float = 0.0
+    candidate_rules: int = 0
+
+    @property
+    def packages_per_second(self) -> float:
+        return self.packages / self.seconds if self.seconds > 0 else 0.0
+
+
+def shard_items(items: Sequence[ItemT], num_shards: int) -> list[list[tuple[int, ItemT]]]:
+    """Round-robin ``items`` into ``num_shards`` shards, tagging each item
+    with its original position so results can be reassembled in order."""
+    if num_shards < 1:
+        raise ValueError("num_shards must be positive")
+    shards: list[list[tuple[int, ItemT]]] = [[] for _ in range(num_shards)]
+    for position, item in enumerate(items):
+        shards[position % num_shards].append((position, item))
+    return [shard for shard in shards if shard]
+
+
+@dataclass
+class SchedulerReport:
+    """What a scheduler run did, for service-level stats."""
+
+    mode: str = INPROCESS
+    shards: int = 0
+    workers: int = 1
+    fallback_error: str = ""
+    results: list = field(default_factory=list)
+
+
+class ScanScheduler:
+    """Run shard functions across a bounded worker pool."""
+
+    def __init__(
+        self,
+        mode: str = AUTO,
+        max_workers: Optional[int] = None,
+        max_pending: Optional[int] = None,
+    ) -> None:
+        if mode not in _MODES:
+            raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+        self.mode = mode
+        self.max_workers = max_workers
+        self.max_pending = max_pending
+
+    # -- execution ----------------------------------------------------------------
+    def run(
+        self,
+        shards: Sequence,
+        shard_fn: Callable,
+        init_fn: Optional[Callable] = None,
+        init_args: tuple = (),
+    ) -> SchedulerReport:
+        """Apply ``shard_fn`` to every shard; results keep shard order.
+
+        ``init_fn``/``init_args`` prime per-worker state (module-level, so
+        they are picklable for the process lane and shared-global for the
+        in-process lane).
+        """
+        if not shards:
+            return SchedulerReport(mode=INPROCESS, shards=0, results=[])
+        # a single shard gains nothing from a pool, but an explicit "process"
+        # request still gets one (the caller may want the isolation)
+        if self.mode == INPROCESS or (len(shards) == 1 and self.mode != PROCESS):
+            return self._run_inprocess(shards, shard_fn, init_fn, init_args)
+        try:
+            return self._run_process(shards, shard_fn, init_fn, init_args)
+        except Exception as exc:
+            if self.mode == PROCESS:
+                raise
+            report = self._run_inprocess(shards, shard_fn, init_fn, init_args)
+            report.fallback_error = f"{type(exc).__name__}: {exc}"
+            return report
+
+    def _run_inprocess(self, shards, shard_fn, init_fn, init_args) -> SchedulerReport:
+        if init_fn is not None:
+            init_fn(*init_args)
+        results = [shard_fn(shard) for shard in shards]
+        return SchedulerReport(
+            mode=INPROCESS, shards=len(shards), workers=1, results=results
+        )
+
+    def _run_process(self, shards, shard_fn, init_fn, init_args) -> SchedulerReport:
+        workers = self.max_workers or min(len(shards), os.cpu_count() or 2)
+        workers = max(1, min(workers, len(shards)))
+        max_pending = self.max_pending or workers * 2
+        results: list = [None] * len(shards)
+        with ProcessPoolExecutor(
+            max_workers=workers, initializer=init_fn, initargs=init_args
+        ) as pool:
+            pending = {}
+            for shard_id, shard in enumerate(shards):
+                while len(pending) >= max_pending:  # backpressure: bound in-flight work
+                    done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        results[pending.pop(future)] = future.result()
+                pending[pool.submit(shard_fn, shard)] = shard_id
+            for future, shard_id in pending.items():
+                results[shard_id] = future.result()
+        return SchedulerReport(
+            mode=PROCESS, shards=len(shards), workers=workers, results=results
+        )
+
+
+class BoundedQueue:
+    """A tiny bounded FIFO with blocking put — the streaming-ingest buffer.
+
+    ``scanserve`` batches are list-driven, but a registry feed is a stream;
+    this queue gives feeders a backpressured hand-off point (`put` blocks
+    while the scanner is behind) without pulling in a full async stack.
+    """
+
+    def __init__(self, max_items: int = 1024) -> None:
+        if max_items < 1:
+            raise ValueError("max_items must be positive")
+        self.max_items = max_items
+        self._items: list = []
+        self._lock = threading.Lock()
+        self._not_full = threading.Condition(self._lock)
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+
+    def put(self, item, timeout: Optional[float] = None) -> bool:
+        with self._not_full:
+            if not self._not_full.wait_for(
+                lambda: len(self._items) < self.max_items or self._closed, timeout
+            ):
+                return False
+            if self._closed:
+                raise RuntimeError("queue is closed")
+            self._items.append(item)
+            self._not_empty.notify()
+            return True
+
+    def get(self, timeout: Optional[float] = None):
+        with self._not_empty:
+            if not self._not_empty.wait_for(
+                lambda: self._items or self._closed, timeout
+            ):
+                raise TimeoutError("queue empty")
+            if not self._items:
+                raise RuntimeError("queue is closed")
+            item = self._items.pop(0)
+            self._not_full.notify()
+            return item
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            self._not_full.notify_all()
+            self._not_empty.notify_all()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    def drain(self) -> list:
+        with self._lock:
+            items, self._items = self._items, []
+            self._not_full.notify_all()
+            return items

