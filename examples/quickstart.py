@@ -4,7 +4,8 @@
 This walks the full RuleLLM pipeline end to end on a small synthetic corpus:
 
 1. build a corpus of malicious + legitimate PyPI-style packages,
-2. run RuleLLM (craft -> refine -> align) over the malware,
+2. run the pipeline (cluster -> craft -> refine -> align) over the malware
+   through a :class:`repro.api.GenerationSession`,
 3. compile the generated rules with the bundled YARA / Semgrep engines,
 4. scan the whole corpus and print detection metrics,
 5. write the deployable rule files to ``./generated_rules/``.
@@ -18,7 +19,7 @@ from __future__ import annotations
 
 from pathlib import Path
 
-from repro.core import RuleLLM, RuleLLMConfig
+from repro.api import GenerationSession, RuleLLMConfig
 from repro.corpus import DatasetConfig, build_dataset
 from repro.evaluation.detector import RuleScanner
 from repro.evaluation.reporting import format_table, percent
@@ -31,14 +32,20 @@ def main() -> None:
     print(f"corpus: {stats.malware_total} malicious uploads "
           f"({stats.malware_unique} unique after dedup), {stats.benign_total} legitimate packages")
 
-    # 2. run the pipeline (the simulated GPT-4o analyst is the default provider)
-    pipeline = RuleLLM(RuleLLMConfig.full(model="gpt-4o"))
-    ruleset = pipeline.generate_rules(dataset.malware)
+    # 2. run the pipeline through a generation session (the simulated GPT-4o
+    #    analyst is the default provider); large corpora can be fed in
+    #    several add_batch calls before generate()
+    session = GenerationSession(RuleLLMConfig.full(model="gpt-4o"))
+    session.add_batch(dataset.malware)
+    result = session.generate()
+    ruleset = result.rule_set
     counts = ruleset.counts()
     print(f"generated {counts['yara']} YARA rules and {counts['semgrep']} Semgrep rules "
           f"({counts['rejected']} rejected by the alignment agent)")
-    print(f"clusters: {pipeline.last_run.cluster_count}, "
-          f"repaired rules: {pipeline.last_run.alignment.repaired}")
+    print(f"clusters: {result.info.cluster_count}, "
+          f"repaired rules: {result.info.alignment.repaired}, "
+          f"stage timings: " + ", ".join(
+              f"{name} {seconds:.2f}s" for name, seconds in result.stage_seconds.items()))
 
     # 3. compile and 4. scan
     scanner = RuleScanner(

@@ -4,15 +4,17 @@
 The paper's end goal is deploying generated rules against live package
 registries.  This script walks the full operational loop:
 
-1. generate a rule set with the RuleLLM pipeline and *publish* it into the
-   versioned ruleset registry (the atom-prefilter index is built at publish
-   time, before the atomic hot-swap),
+1. run a :class:`repro.api.GenerationSession` bound to the service's
+   registry — the generated rule set *auto-publishes* as a versioned
+   ruleset (the atom-prefilter index is built at publish time, before the
+   atomic hot-swap),
 2. scan a batch of packages through the sharded scanning service and show
    the per-shard throughput stats,
 3. re-scan the same batch to demonstrate the content-hash result cache,
-4. generate rules with a second model, hot-swap them in, and show that the
-   version bump surgically invalidates the cache,
-5. roll back to the first version.
+4. generate rules with a second model session, hot-swap them in, and show
+   that the version bump surgically invalidates the cache,
+5. roll back to the first version,
+6. show the per-rule cost telemetry (slowest rules of the run).
 
 Run with::
 
@@ -21,18 +23,25 @@ Run with::
 
 from __future__ import annotations
 
-from repro.core import RuleLLM, RuleLLMConfig
+from repro.api import (
+    GenerationSession,
+    RuleLLMConfig,
+    ScanService,
+    ScanServiceConfig,
+)
 from repro.corpus import DatasetConfig, build_dataset
-from repro.scanserve import ScanService, ScanServiceConfig
 
 
 def main() -> None:
     print("== build corpus and generate rules ==")
     dataset = build_dataset(DatasetConfig.small())
-    rules_v1 = RuleLLM(RuleLLMConfig.full(model="gpt-4o")).generate_rules(dataset.malware)
 
     service = ScanService(config=ScanServiceConfig(shards=2, mode="auto"))
-    version1 = service.publish_generated(rules_v1, label="gpt-4o nightly")
+    session = GenerationSession(
+        RuleLLMConfig.full(model="gpt-4o"), registry=service.registry
+    )
+    session.add_batch(dataset.malware)
+    version1 = session.generate(label="gpt-4o nightly").version
     print(f"published {version1.describe()}")
     stats = version1.index.stats()
     print(f"prefilter: {stats.atoms} atoms over {stats.automaton_states} automaton states\n")
@@ -59,10 +68,11 @@ def main() -> None:
     )
 
     print("== hot-swap a new ruleset version ==")
-    rules_v2 = RuleLLM(RuleLLMConfig.full(model="claude-3.5-sonnet")).generate_rules(
-        dataset.malware
+    second_session = GenerationSession(
+        RuleLLMConfig.full(model="claude-3.5-sonnet"), registry=service.registry
     )
-    version2 = service.publish_generated(rules_v2, label="claude nightly")
+    second_session.add_batch(dataset.malware)
+    version2 = second_session.generate(label="claude nightly").version
     print(f"published {version2.describe()}")
     swapped = service.scan_batch(dataset.packages)
     print(
@@ -79,6 +89,10 @@ def main() -> None:
     )
     print("\nregistry state:")
     print(service.registry.describe())
+
+    print("\n== per-rule cost telemetry ==")
+    for cost in service.top_slow_rules(5):
+        print(f"  {cost.describe()}")
 
 
 if __name__ == "__main__":

@@ -16,15 +16,22 @@ The most common entry points:
 >>> rules = RuleLLM(RuleLLMConfig.full()).generate_rules(dataset.malware)
 >>> rules.counts()["total"] > 0
 True
+
+or, for the streaming generate -> publish -> scan loop, the unified facade:
+
+>>> from repro.api import GenerationSession, ScanService
 """
 
+from repro.api import GenerationSession, SessionResult
 from repro.core import RuleLLM, RuleLLMConfig
 from repro.core.rules import GeneratedRule, GeneratedRuleSet
 from repro.corpus import Dataset, DatasetConfig, build_dataset
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "GenerationSession",
+    "SessionResult",
     "RuleLLM",
     "RuleLLMConfig",
     "GeneratedRule",

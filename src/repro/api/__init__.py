@@ -1,0 +1,73 @@
+"""The unified public API: streaming pipeline sessions wired to the scanner.
+
+``repro.api`` is the one-stop facade over the generate -> publish -> scan
+loop.  The pieces:
+
+* :class:`GenerationSession` — feed malicious packages incrementally (in
+  batches or from a :class:`~repro.scanserve.scheduler.BoundedQueue`
+  stream), run the cluster/craft/refine/align stage chain, and auto-publish
+  each resulting rule set into a versioned registry;
+* :class:`PipelineStage` / :class:`StageContext` — the pluggable stage
+  protocol the session executes (swap a stage to build ablations or custom
+  pipelines);
+* :class:`~repro.scanserve.service.ScanService` — the scanning side of the
+  loop; bind a session to ``service.registry`` and every ``generate`` call
+  hot-swaps fresh rules under live scan traffic.
+
+Minimal end-to-end loop::
+
+    from repro.api import GenerationSession, ScanService
+
+    service = ScanService()
+    session = GenerationSession(registry=service.registry)
+    session.add_batch(first_wave_of_malware)
+    session.add_batch(second_wave_of_malware)
+    result = session.generate(label="nightly")   # auto-publishes v1
+    batch = service.scan_batch(suspect_packages)  # scans with v1
+
+The legacy one-shot entry point :class:`repro.core.pipeline.RuleLLM` is a
+thin wrapper over :class:`GenerationSession` and keeps working unchanged.
+"""
+
+from repro.api.session import GenerationSession, SessionResult
+from repro.api.stages import (
+    AlignStage,
+    ClusterStage,
+    CraftStage,
+    PipelineRunInfo,
+    PipelineStage,
+    PresetClusterStage,
+    RefineStage,
+    StageContext,
+    default_stages,
+    group_stages,
+)
+from repro.core.config import RuleLLMConfig
+from repro.core.rules import GeneratedRule, GeneratedRuleSet
+from repro.scanserve.registry import RulesetRegistry, RulesetVersion
+from repro.scanserve.scheduler import BoundedQueue
+from repro.scanserve.service import BatchScanResult, ScanService, ScanServiceConfig
+
+__all__ = [
+    "GenerationSession",
+    "SessionResult",
+    "PipelineStage",
+    "StageContext",
+    "PipelineRunInfo",
+    "ClusterStage",
+    "PresetClusterStage",
+    "CraftStage",
+    "RefineStage",
+    "AlignStage",
+    "default_stages",
+    "group_stages",
+    "RuleLLMConfig",
+    "GeneratedRule",
+    "GeneratedRuleSet",
+    "RulesetRegistry",
+    "RulesetVersion",
+    "BoundedQueue",
+    "BatchScanResult",
+    "ScanService",
+    "ScanServiceConfig",
+]

@@ -1,6 +1,6 @@
 """Command-line interface (``rulellm``).
 
-Three subcommands cover the common workflows:
+Five subcommands cover the common workflows:
 
 ``rulellm generate``
     Build a synthetic corpus (or load unpacked packages from a directory),
@@ -19,6 +19,12 @@ Three subcommands cover the common workflows:
     Scan many packages at once through the :mod:`repro.scanserve` service:
     atom-prefilter index, result cache and a sharded worker pool, with a
     throughput summary and optional JSON report.
+
+``rulellm pipeline``
+    The full closed loop through :mod:`repro.api`: feed packages into a
+    :class:`~repro.api.GenerationSession` in incremental batches, generate
+    rules stage by stage, auto-publish them into the scan registry, and
+    immediately scan the corpus with the freshly published version.
 """
 
 from __future__ import annotations
@@ -66,6 +72,29 @@ def _add_scan_batch(subparsers) -> None:
                         help="rules that must fire to call a package malicious (default 1)")
     parser.add_argument("--no-index", action="store_true",
                         help="disable the atom-prefilter index (naive per-rule scanning)")
+    parser.add_argument("--json", default=None, help="write the full batch report to this file")
+
+
+def _add_pipeline(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "pipeline",
+        help="generate -> auto-publish -> scan end-to-end through repro.api",
+    )
+    parser.add_argument("--model", default="gpt-4o", help="model profile")
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="synthetic corpus scale relative to the paper (default 0.05)")
+    parser.add_argument("--seed", type=int, default=1633)
+    parser.add_argument("--packages", default=None,
+                        help="directory of unpacked malicious packages to use instead of the synthetic corpus")
+    parser.add_argument("--batches", type=int, default=2,
+                        help="feed the corpus to the session in this many incremental batches (default 2)")
+    parser.add_argument("--output", default=None,
+                        help="also write the generated rule files to this directory")
+    parser.add_argument("--shards", type=int, default=4, help="scan worker shards (default 4)")
+    parser.add_argument("--mode", choices=["auto", "process", "inprocess"], default="auto",
+                        help="scan worker pool mode (default auto)")
+    parser.add_argument("--threshold", type=int, default=1,
+                        help="rules that must fire to call a package malicious (default 1)")
     parser.add_argument("--json", default=None, help="write the full batch report to this file")
 
 
@@ -154,6 +183,25 @@ def _discover_package_dirs(targets: list[str]) -> list[Path]:
     return discovered
 
 
+def _print_verdicts(paths, batch) -> int:
+    """Per-target verdict lines; returns how many were flagged malicious."""
+    threshold = batch.result.match_threshold
+    malicious = 0
+    for path, detection in zip(paths, batch.detections):
+        flagged = detection.predicted(threshold)
+        malicious += flagged
+        matched = ", ".join(detection.matched_rules[:5]) or "-"
+        print(f"{path}: {'MALICIOUS' if flagged else 'clean'} "
+              f"({detection.match_count} rules matched: {matched})")
+    return malicious
+
+
+def _write_report(batch, json_path) -> None:
+    if json_path:
+        Path(json_path).write_text(batch.to_json() + "\n", encoding="utf-8")
+        print(f"wrote report to {json_path}")
+
+
 def _cmd_scan_batch(args) -> int:
     from repro.scanserve import ScanService, ScanServiceConfig
 
@@ -183,14 +231,7 @@ def _cmd_scan_batch(args) -> int:
     print(f"published ruleset {version.describe()}")
     batch = service.scan_batch(packages)
 
-    malicious = 0
-    for path, detection in zip(package_dirs, batch.detections):
-        verdict = "MALICIOUS" if detection.predicted(batch.result.match_threshold) else "clean"
-        if verdict == "MALICIOUS":
-            malicious += 1
-        matched = ", ".join(detection.matched_rules[:5]) or "-"
-        print(f"{path}: {verdict} ({detection.match_count} rules matched: {matched})")
-
+    malicious = _print_verdicts(package_dirs, batch)
     print(
         f"\nscanned {batch.packages} packages in {batch.elapsed_seconds:.3f}s "
         f"({batch.packages_per_second:.1f} pkg/s, mode={batch.mode}, "
@@ -201,10 +242,93 @@ def _cmd_scan_batch(args) -> int:
             f"  shard {shard.shard_id}: {shard.packages} packages in "
             f"{shard.seconds:.3f}s ({shard.packages_per_second:.1f} pkg/s)"
         )
-    if args.json:
-        Path(args.json).write_text(batch.to_json() + "\n", encoding="utf-8")
-        print(f"wrote report to {args.json}")
+    _print_slow_rules(service)
+    _write_report(batch, args.json)
     return 2 if malicious else 0
+
+
+def _print_slow_rules(service, limit: int = 3) -> None:
+    slow = service.top_slow_rules(limit)
+    if slow:
+        print("slowest rules:")
+        for cost in slow:
+            print(f"  {cost.describe()}")
+
+
+def _cmd_pipeline(args) -> int:
+    from repro.api import GenerationSession, ScanService, ScanServiceConfig
+
+    package_dirs: list[Path] = []
+    if args.packages:
+        try:
+            package_dirs = _discover_package_dirs([args.packages])
+        except FileNotFoundError as exc:
+            print(str(exc), file=sys.stderr)
+            return 1
+        malware = [load_package_from_directory(path, label="malware")
+                   for path in package_dirs]
+        if not malware:
+            print(f"no package directories found under {args.packages}",
+                  file=sys.stderr)
+            return 1
+        scan_targets = malware
+    else:
+        dataset_config = DatasetConfig(scale=args.scale, seed=args.seed)
+        dataset = build_dataset(dataset_config)
+        malware = dataset.malware
+        scan_targets = dataset.packages
+
+    service = ScanService(
+        config=ScanServiceConfig(
+            shards=max(1, args.shards),
+            mode=args.mode,
+            match_threshold=max(1, args.threshold),
+        )
+    )
+    session = GenerationSession(
+        config=RuleLLMConfig.full(model=args.model, seed=args.seed),
+        registry=service.registry,
+    )
+
+    batches = max(1, min(args.batches, len(malware)))
+    chunk = -(-len(malware) // batches)  # ceil division
+    total_batches = -(-len(malware) // chunk)  # may be < --batches
+    for start in range(0, len(malware), chunk):
+        batch = malware[start:start + chunk]
+        index = session.add_batch(batch)
+        print(f"fed batch {index}/{total_batches} ({len(batch)} packages, "
+              f"{session.pending_count} pending)")
+
+    print(f"generating rules with {args.model} ...")
+    result = session.generate(label=f"{args.model} pipeline")
+    print(result.describe())
+    if result.version is None:
+        print("no rules survived alignment; nothing published", file=sys.stderr)
+        return 1
+    print(f"published {result.version.describe()}")
+    if args.output:
+        output = result.rule_set.save(args.output)
+        print(f"wrote rule files under {output}")
+
+    # the freshly published version is already live: scan with zero glue
+    batch = service.scan_batch(scan_targets)
+    malicious = sum(
+        1 for d in batch.detections if d.predicted(batch.result.match_threshold)
+    )
+    print(
+        f"\nscanned {batch.packages} packages with ruleset v{batch.ruleset_version} "
+        f"in {batch.elapsed_seconds:.3f}s ({batch.packages_per_second:.1f} pkg/s, "
+        f"mode={batch.mode}, workers={batch.workers}): {malicious} flagged malicious"
+    )
+    if not args.packages:
+        confusion = batch.result.confusion()
+        print(f"detection: precision {confusion.precision:.2%}, "
+              f"recall {confusion.recall:.2%}, f1 {confusion.f1:.2%}")
+    else:
+        _print_verdicts(package_dirs, batch)
+    _print_slow_rules(service)
+    _write_report(batch, args.json)
+    return 0
 
 
 def _cmd_evaluate(args) -> int:
@@ -223,6 +347,7 @@ def main(argv: list[str] | None = None) -> int:
     _add_generate(subparsers)
     _add_scan(subparsers)
     _add_scan_batch(subparsers)
+    _add_pipeline(subparsers)
     _add_evaluate(subparsers)
     args = parser.parse_args(argv)
     if args.command == "generate":
@@ -231,6 +356,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_scan(args)
     if args.command == "scan-batch":
         return _cmd_scan_batch(args)
+    if args.command == "pipeline":
+        return _cmd_pipeline(args)
     if args.command == "evaluate":
         return _cmd_evaluate(args)
     parser.error(f"unknown command {args.command!r}")

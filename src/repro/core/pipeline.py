@@ -1,4 +1,4 @@
-"""The RuleLLM orchestrator (paper Figure 3).
+"""The RuleLLM orchestrator (paper Figure 3) as a compatibility wrapper.
 
 ``RuleLLM.generate_rules`` runs the complete pipeline over a list of
 malicious packages:
@@ -9,6 +9,13 @@ malicious packages:
 3. refining -- merge coarse rules into scalable rules (Section IV-B);
 4. aligning -- compile-or-repair every rule with the agent (Section IV-C).
 
+The stages themselves live in :mod:`repro.api.stages` and are executed by
+:class:`repro.api.session.GenerationSession`, the streaming entry point that
+also feeds packages incrementally and auto-publishes into the scan
+registry.  ``RuleLLM`` remains the one-shot convenience facade: each call
+spins up a session sharing this instance's provider and embedder, so
+results are bit-for-bit identical to the historical orchestrator.
+
 The ablation arms of Table X are obtained through
 :class:`~repro.core.config.RuleLLMConfig` presets: with ``use_basic_units``
 disabled the crafting stage falls back to single-shot whole-package prompts,
@@ -18,76 +25,85 @@ with ``use_alignment`` disabled broken rules are dropped instead of repaired.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
-from repro.core.aligning import AligningStage, AlignmentReport
 from repro.core.config import RuleLLMConfig
-from repro.core.crafting import CoarseRule, CraftingStage
+from repro.core.crafting import CraftingStage
 from repro.core.refining import RefiningStage
-from repro.core.rules import GeneratedRule, GeneratedRuleSet
+from repro.core.rules import GeneratedRuleSet
 from repro.corpus.package import Package
-from repro.extraction.clustering import ClusterResult, cluster_packages
 from repro.extraction.embedding import CodeEmbedder
 from repro.llm.base import LLMProvider
 from repro.llm.profiles import get_profile
 from repro.llm.simulated import SimulatedAnalystLLM
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.session import GenerationSession
+    from repro.api.stages import PipelineRunInfo
 
-@dataclass
-class PipelineRunInfo:
-    """Diagnostics of one pipeline run (inspected by experiments and examples)."""
+__all__ = ["PipelineRunInfo", "RuleLLM"]
 
-    package_count: int = 0
-    cluster_count: int = 0
-    discarded_clusters: int = 0
-    coarse_rule_count: int = 0
-    refined_rule_count: int = 0
-    alignment: AlignmentReport = field(default_factory=AlignmentReport)
+
+def __getattr__(name: str):
+    # PipelineRunInfo historically lived here; it moved to repro.api.stages,
+    # which this module can only import lazily (the api layer imports the
+    # core stage modules, and importing any repro.core submodule runs the
+    # package __init__, which imports this module)
+    if name == "PipelineRunInfo":
+        from repro.api.stages import PipelineRunInfo
+
+        return PipelineRunInfo
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 class RuleLLM:
-    """End-to-end rule generation for OSS malware."""
+    """End-to-end rule generation for OSS malware (one-shot facade)."""
 
     def __init__(self, config: RuleLLMConfig | None = None,
                  provider: LLMProvider | None = None) -> None:
+        from repro.api.stages import PipelineRunInfo
+
         self.config = config or RuleLLMConfig()
         self.provider = provider or SimulatedAnalystLLM(
             profile=get_profile(self.config.model), seed=self.config.seed
         )
         self.embedder = CodeEmbedder()
+        # callers may replace these (e.g. a custom CraftingStage); the
+        # sessions built below run whatever is installed here
         self.crafting = CraftingStage(self.provider, self.config)
         self.refining = RefiningStage(self.provider, self.config)
         self.last_run: PipelineRunInfo = PipelineRunInfo()
 
+    def _session(self, first_stage=None) -> "GenerationSession":
+        from repro.api.session import GenerationSession
+        from repro.api.stages import (
+            AlignStage,
+            ClusterStage,
+            CraftStage,
+            RefineStage,
+        )
+
+        return GenerationSession(
+            config=self.config,
+            provider=self.provider,
+            embedder=self.embedder,
+            stages=[
+                first_stage or ClusterStage(),
+                CraftStage(self.crafting),
+                RefineStage(self.refining),
+                AlignStage(),
+            ],
+            auto_publish=False,
+        )
+
     # -- public API ----------------------------------------------------------------
     def generate_rules(self, packages: list[Package]) -> GeneratedRuleSet:
         """Run the full pipeline over a malware corpus."""
-        info = PipelineRunInfo(package_count=len(packages))
-        rule_set = GeneratedRuleSet(model=self.provider.model_name)
-        if not packages:
-            self.last_run = info
-            return rule_set
-
-        clusters = self._cluster(packages)
-        info.cluster_count = clusters.retained_count
-        info.discarded_clusters = len(clusters.discarded)
-
-        coarse = self._craft(clusters)
-        info.coarse_rule_count = len(coarse)
-
-        refined = self.refining.refine(coarse)
-        info.refined_rule_count = len(refined)
-
-        aligning = AligningStage(self.provider, self.config)
-        for index, refined_rule in enumerate(refined):
-            generated, ok = aligning.align(refined_rule, index)
-            if ok:
-                rule_set.add(generated)
-            else:
-                rule_set.reject(generated)
-        info.alignment = aligning.report
-        self.last_run = info
-        return rule_set
+        session = self._session()
+        session.add_batch(packages)
+        result = session.generate()
+        self.last_run = result.info
+        return result.rule_set
 
     def generate_rules_for_group(self, packages: list[Package],
                                  cluster_id: int = 0) -> GeneratedRuleSet:
@@ -97,39 +113,8 @@ class RuleLLM:
         generated from a couple of samples of a cluster and evaluated on the
         remaining, unseen variants.
         """
-        rule_set = GeneratedRuleSet(model=self.provider.model_name)
-        if not packages:
-            return rule_set
-        coarse = (self.crafting.craft_for_cluster(cluster_id, packages)
-                  if self.config.use_basic_units
-                  else self.crafting.craft_direct(cluster_id, packages[0]))
-        refined = self.refining.refine(coarse)
-        aligning = AligningStage(self.provider, self.config)
-        for index, refined_rule in enumerate(refined):
-            generated, ok = aligning.align(refined_rule, index)
-            if ok:
-                rule_set.add(generated)
-            else:
-                rule_set.reject(generated)
-        return rule_set
+        from repro.api.stages import PresetClusterStage
 
-    # -- stages ---------------------------------------------------------------------
-    def _cluster(self, packages: list[Package]) -> ClusterResult:
-        n_clusters = max(1, round(len(packages) / self.config.packages_per_cluster_hint))
-        return cluster_packages(
-            packages,
-            embedder=self.embedder,
-            n_clusters=n_clusters,
-            similarity_threshold=self.config.cluster_similarity_threshold,
-            random_seed=self.config.cluster_random_seed,
-            max_iterations=self.config.cluster_max_iterations,
-        )
-
-    def _craft(self, clusters: ClusterResult) -> list[CoarseRule]:
-        coarse: list[CoarseRule] = []
-        for cluster_id, members in enumerate(clusters.clusters):
-            if self.config.use_basic_units:
-                coarse.extend(self.crafting.craft_for_cluster(cluster_id, members))
-            else:
-                coarse.extend(self.crafting.craft_direct(cluster_id, members[0]))
-        return coarse
+        session = self._session(first_stage=PresetClusterStage(cluster_id))
+        session.add_batch(packages)
+        return session.generate().rule_set

@@ -219,8 +219,15 @@ class RuleScanner:
 
     # -- scanning ------------------------------------------------------------------
     def scan_package(
-        self, package: Union[Package, PreparedPackage], timings: ScanTimings | None = None
+        self,
+        package: Union[Package, PreparedPackage],
+        timings: ScanTimings | None = None,
+        cost_sink: "object | None" = None,
     ) -> PackageDetection:
+        """Scan one package; ``cost_sink`` (any object with
+        ``record(engine, rule_key, seconds, package)``, e.g. a
+        :class:`repro.scanserve.telemetry.RuleCostSample`) receives per-rule
+        evaluation timings without changing the detections."""
         if isinstance(package, PreparedPackage):
             prepared = package
             if prepared.include_metadata_in_text != self.include_metadata_in_text:
@@ -240,7 +247,23 @@ class RuleScanner:
             yara_start = time.perf_counter()
             if self.index is not None:
                 # names-only fast path: same verdicts, no RuleMatch payloads
-                names = set(self.index.yara_rule_names(text))
+                names = set(
+                    self.index.yara_rule_names(
+                        text, cost_sink=cost_sink, package=detection.package
+                    )
+                )
+            elif cost_sink is not None:
+                # same verdicts as CompiledRuleSet.match, timed per rule
+                names = set()
+                for rule in self.yara_rules.rules:
+                    rule_start = time.perf_counter()
+                    found = rule.match(text)
+                    cost_sink.record(
+                        "yara", rule.name,
+                        time.perf_counter() - rule_start, detection.package,
+                    )
+                    if found is not None:
+                        names.add(found.rule_name)
             else:
                 names = {m.rule_name for m in self.yara_rules.match(text)}
             detection.yara_rules = sorted(names)
@@ -250,7 +273,16 @@ class RuleScanner:
             target = prepared.target
             semgrep_start = time.perf_counter()
             if self.index is not None:
-                findings = self.index.match_semgrep(target)
+                findings = self.index.match_semgrep(target, cost_sink=cost_sink)
+            elif cost_sink is not None:
+                findings = []
+                for compiled in self.semgrep_rules.rules:
+                    rule_start = time.perf_counter()
+                    findings.extend(compiled.match_target(target))
+                    cost_sink.record(
+                        "semgrep", compiled.id,
+                        time.perf_counter() - rule_start, detection.package,
+                    )
             else:
                 findings = self.semgrep_rules.match_target(target)
             detection.semgrep_rules = sorted({finding.rule_id for finding in findings})

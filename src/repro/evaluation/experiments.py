@@ -16,11 +16,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from functools import cached_property
 
+from repro.api.session import GenerationSession, SessionResult
 from repro.baselines.community_rules import build_semgrep_scanner, build_yara_scanner
 from repro.baselines.score_based import ScoreBasedRuleGenerator
 from repro.categories import CATEGORIES, PAPER_TABLE_XII_COUNTS, SUBCATEGORIES
 from repro.core.config import RuleLLMConfig
-from repro.core.pipeline import RuleLLM
 from repro.core.rules import GeneratedRuleSet
 from repro.core.taxonomy import RuleTaxonomyClassifier
 from repro.corpus.dataset import Dataset, DatasetConfig, build_dataset
@@ -278,9 +278,15 @@ class ExperimentSuite:
         return build_dataset(self.dataset_config)
 
     @cached_property
+    def session_result(self) -> SessionResult:
+        """One full pipeline run over the corpus through the session API."""
+        session = GenerationSession(config=self.rulellm_config)
+        session.add_batch(self.dataset.malware)
+        return session.generate()
+
+    @cached_property
     def ruleset(self) -> GeneratedRuleSet:
-        pipeline = RuleLLM(self.rulellm_config)
-        return pipeline.generate_rules(self.dataset.malware)
+        return self.session_result.rule_set
 
     @cached_property
     def prepared_packages(self) -> list[PreparedPackage]:
@@ -318,6 +324,12 @@ class ExperimentSuite:
     @cached_property
     def taxonomy(self) -> RuleTaxonomyClassifier:
         return RuleTaxonomyClassifier()
+
+    def _generate_with(self, config: RuleLLMConfig) -> GeneratedRuleSet:
+        """Run the pipeline over the corpus under an alternative config."""
+        session = GenerationSession(config=config)
+        session.add_batch(self.dataset.malware)
+        return session.generate().rule_set
 
     # -- Table VI ---------------------------------------------------------------------
     def table6_dataset(self) -> DatasetTableResult:
@@ -362,7 +374,7 @@ class ExperimentSuite:
         result = ComparisonResult(title="Table IX: rules generated by different LLMs")
         for model in models:
             config = RuleLLMConfig.full(model=model, seed=self.rulellm_config.seed)
-            ruleset = RuleLLM(config).generate_rules(self.dataset.malware)
+            ruleset = self._generate_with(config)
             scanner = RuleScanner(yara_rules=ruleset.compile_yara(),
                                   semgrep_rules=ruleset.compile_semgrep())
             metrics = scanner.evaluate(self.prepared_packages)
@@ -384,7 +396,7 @@ class ExperimentSuite:
         ]
         result = AblationResult(title="Table X: ablation of RuleLLM components")
         for name, config in arms:
-            ruleset = RuleLLM(config).generate_rules(self.dataset.malware)
+            ruleset = self._generate_with(config)
             yara = ruleset.compile_yara()
             semgrep = ruleset.compile_semgrep()
             if len(yara) == 0 and len(semgrep) == 0:

@@ -33,7 +33,7 @@ from repro.scanserve.atoms import (
     semgrep_rule_atoms,
     yara_rule_atoms,
 )
-from repro.scanserve.cache import CacheStats, ScanResultCache
+from repro.scanserve.cache import CacheStats, DiskScanResultCache, ScanResultCache
 from repro.scanserve.index import AhoCorasick, IndexStats, RuleIndex
 from repro.scanserve.registry import RulesetRegistry, RulesetVersion
 from repro.scanserve.scheduler import (
@@ -45,6 +45,7 @@ from repro.scanserve.scheduler import (
     ShardStats,
     shard_items,
 )
+from repro.scanserve.telemetry import RuleCost, RuleCostSample, RuleCostTracker
 from repro.scanserve.service import (
     BatchScanResult,
     ScanService,
@@ -65,6 +66,10 @@ __all__ = [
     "RulesetVersion",
     "CacheStats",
     "ScanResultCache",
+    "DiskScanResultCache",
+    "RuleCost",
+    "RuleCostSample",
+    "RuleCostTracker",
     "AUTO",
     "INPROCESS",
     "PROCESS",

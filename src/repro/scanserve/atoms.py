@@ -39,13 +39,22 @@ DEFAULT_MIN_ATOM_LENGTH = 3
 
 @dataclass(frozen=True)
 class RuleAtoms:
-    """The prefilter atoms of one rule (or the reason it has none)."""
+    """The prefilter atoms of one rule (or the reason it has none).
+
+    ``atoms`` drives candidacy (any-of: a rule becomes a candidate when one
+    of its atoms occurs).  ``required_sets`` refines candidacy with all-of
+    semantics: the rule can only fire when, for at least one set, *every*
+    member occurs in the scanned text.  Each set is one way the rule can
+    fire (a ``pattern-either`` alternative, the ``patterns`` conjunction, a
+    ``pattern-regex``), so the disjunction over the sets is sound.  Empty
+    ``required_sets`` means "no all-of refinement available"."""
 
     engine: str
     rule_key: str
     atoms: tuple[str, ...] = ()  # casefolded
     indexable: bool = False
     reason: str = ""
+    required_sets: tuple[tuple[str, ...], ...] = ()  # casefolded, all-of each
 
 
 def _resolve_of_identifiers(of_expr: ast.OfExpr, all_identifiers: list[str]) -> list[str]:
@@ -154,21 +163,78 @@ def semgrep_rule_atoms(
 ) -> RuleAtoms:
     """Extract the prefilter atoms of one compiled Semgrep rule.
 
-    Anchor-based rules reuse the anchors ``match_target`` itself prefilters
-    on (whatever their length — dropping a short anchor would break the
-    soundness guarantee).  Rules whose only operator is ``pattern-regex``
-    are indexed through the regex's required literals.
+    A rule produces findings through independent firing modes — any single
+    ``pattern``/``pattern-either`` alternative, the ``patterns`` conjunction,
+    or ``pattern-regex`` — and each mode carries a *required anchor set*:
+    literals that must all be present for that mode to match.  Only
+    *identifier* anchors (:meth:`~repro.semgrepx.pattern.Pattern.identifier_anchors`)
+    and a regex's required literal runs qualify as all-of members — a
+    string-constant anchor can be escape-spelled in matching source, so it
+    is sound only under the matcher's own any-of prefilter.  A mode with no
+    identifier anchors degrades the whole rule to that any-of semantics
+    (one singleton set per anchor), mirroring ``match_target`` exactly.
+
+    The rule is indexable when every mode yields a set; one representative
+    atom per set (the longest, most selective literal) feeds the automaton,
+    and the full sets power the index's all-of gate, which skips structural
+    matching on files where no mode's set is fully present.  Anchors keep
+    whatever length they have — dropping a short one would break the
+    soundness guarantee.
     """
-    if rule.anchors:
-        atoms = tuple(sorted(anchor.casefold() for anchor in rule.anchors))
-        return RuleAtoms(SEMGREP, rule.id, atoms=atoms, indexable=True)
-    has_structural = bool(rule.either_patterns or rule.all_patterns)
-    if not has_structural and rule.regex is not None:
-        runs = [r for r in required_literal_runs(rule.regex.pattern) if len(r) >= min_length]
-        if runs:
-            atom = max(runs, key=len).casefold()
-            return RuleAtoms(SEMGREP, rule.id, atoms=(atom,), indexable=True)
-        return RuleAtoms(
-            SEMGREP, rule.id, reason="pattern-regex has no required literal"
-        )
-    return RuleAtoms(SEMGREP, rule.id, reason="patterns expose no anchors")
+    required: list[tuple[str, ...]] = []
+    degraded = False  # some mode has anchors but no sound all-of members
+    for pattern in rule.either_patterns:
+        if not pattern.anchors():
+            return RuleAtoms(
+                SEMGREP, rule.id, reason="a pattern alternative exposes no anchors"
+            )
+        identifiers = pattern.identifier_anchors()
+        if identifiers:
+            required.append(tuple(sorted({a.casefold() for a in identifiers})))
+        else:
+            degraded = True
+    if rule.all_patterns:
+        union_anchors: set[str] = set()
+        union_identifiers: set[str] = set()
+        for pattern in rule.all_patterns:
+            union_anchors.update(pattern.anchors())
+            union_identifiers.update(pattern.identifier_anchors())
+        if not union_anchors:
+            return RuleAtoms(
+                SEMGREP, rule.id, reason="'patterns' conjunction exposes no anchors"
+            )
+        if union_identifiers:
+            required.append(tuple(sorted({a.casefold() for a in union_identifiers})))
+        else:
+            degraded = True
+    if rule.regex is not None:
+        runs = [r for r in required_literal_runs(rule.regex.pattern) if r]
+        # the longest run becomes the automaton atom, so it must clear
+        # min_length; the shorter runs still join the all-of gate for free
+        if runs and len(max(runs, key=len)) >= min_length:
+            required.append(tuple(sorted({r.casefold() for r in runs})))
+        elif rule.anchors:
+            degraded = True
+        else:
+            return RuleAtoms(
+                SEMGREP,
+                rule.id,
+                reason=f"pattern-regex has no required literal of length >= {min_length}",
+            )
+    if degraded:
+        # an ungated mode can fire whenever match_target's own any-of anchor
+        # prefilter lets the rule through, so the strongest sound gate left
+        # is exactly that prefilter: one singleton set per anchor
+        if not rule.anchors:
+            return RuleAtoms(SEMGREP, rule.id, reason="patterns expose no anchors")
+        required = [(a.casefold(),) for a in sorted(rule.anchors)]
+    if not required:
+        return RuleAtoms(SEMGREP, rule.id, reason="patterns expose no anchors")
+    atoms = tuple(sorted({max(alternative, key=len) for alternative in required}))
+    return RuleAtoms(
+        SEMGREP,
+        rule.id,
+        atoms=atoms,
+        indexable=True,
+        required_sets=tuple(required),
+    )

@@ -17,6 +17,7 @@ of rules.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass
 from typing import Iterable, Optional
@@ -262,6 +263,10 @@ class RuleIndex:
         # strategy).  Gates are checked on demand per candidate — only
         # rule-candidacy atoms go through the automaton pass.
         self._yara_gates: list[dict[str, str]] = []
+        # per-semgrep-rule required anchor sets (all-of each, any set
+        # suffices): a candidate whose sets are all incomplete in the text
+        # cannot fire and skips structural matching entirely
+        self._semgrep_required: list[tuple[tuple[str, ...], ...]] = []
 
         for position, rule in enumerate(yara.rules if yara is not None else []):
             register(yara_rule_atoms(rule, min_atom_length), "yara", position)
@@ -274,10 +279,19 @@ class RuleIndex:
                     ).casefold()
             self._yara_gates.append(gates)
         for position, rule in enumerate(semgrep.rules if semgrep is not None else []):
-            register(semgrep_rule_atoms(rule, min_atom_length), "semgrep", position)
+            atoms = semgrep_rule_atoms(rule, min_atom_length)
+            register(atoms, "semgrep", position)
+            self._semgrep_required.append(atoms.required_sets)
 
         self._automaton = AhoCorasick(vocabulary.keys())
         self._postings = postings
+        self._fallback_semgrep_set = frozenset(self._fallback_semgrep)
+        # literal -> automaton word id, for gate checks: a gate literal that
+        # doubles as a candidacy atom is answered from the automaton's hit
+        # set instead of a fresh substring scan
+        self._atom_ids: dict[str, int] = {
+            word: word_id for word_id, word in enumerate(self._automaton.words)
+        }
 
     # -- candidate selection ------------------------------------------------------
     def _positions(self, hits: set[int], engine: str, fallback: list[int]) -> list[int]:
@@ -297,16 +311,46 @@ class RuleIndex:
         return [rules[i] for i in self._positions(hits, "yara", self._fallback_yara)]
 
     def candidate_semgrep_rules(self, target: ScanTarget) -> list[CompiledSemgrepRule]:
-        """The only Semgrep rules that can possibly fire on ``target``."""
+        """The only Semgrep rules that can possibly fire on ``target``.
+
+        Two-stage prefilter: atom candidacy (any representative atom
+        occurred), then the *required anchor set* gate — a rule survives
+        only when at least one of its firing modes has **all** of its
+        anchors present in the text.  Non-indexable rules bypass both.
+        """
         if self.semgrep is None:
             return []
-        hits = self._automaton.find(target.text.casefold())
+        folded = target.text.casefold()
+        hits = self._automaton.find(folded)
+        member_cache: dict[str, bool] = {}
+
+        def present(member: str) -> bool:
+            atom_id = self._atom_ids.get(member)
+            if atom_id is not None:
+                return atom_id in hits
+            cached = member_cache.get(member)
+            if cached is None:
+                cached = member in folded
+                member_cache[member] = cached
+            return cached
+
         rules = self.semgrep.rules
-        positions = self._positions(hits, "semgrep", self._fallback_semgrep)
-        return [rules[i] for i in positions]
+        candidates: list[CompiledSemgrepRule] = []
+        for position in self._positions(hits, "semgrep", self._fallback_semgrep):
+            if position not in self._fallback_semgrep_set:
+                required = self._semgrep_required[position]
+                if required and not any(
+                    all(present(member) for member in alternative)
+                    for alternative in required
+                ):
+                    continue
+            candidates.append(rules[position])
+        return candidates
 
     # -- full matching ------------------------------------------------------------
-    def _firing_positions(self, text: str) -> list[int]:
+    def _firing_positions(
+        self, text: str, cost_sink=None, package: str = ""
+    ) -> list[int]:
         """Positions of the YARA rules whose conditions hold on ``text``.
 
         Two-stage evaluation: the atom hit set narrows the batch to candidate
@@ -314,32 +358,44 @@ class RuleIndex:
         evaluator — strings whose gate literal is absent are unmatchable
         without running their regex, the rest are existence-probed with early
         exit.  The verdicts are exactly those of naive scanning.
+
+        ``cost_sink`` (``record(engine, rule_key, seconds, package)``)
+        receives the per-candidate evaluation time for telemetry.
         """
         folded = text.casefold()
         hits = self._automaton.find(folded)
         # gate literals that double as candidacy atoms were just scanned;
         # the rest are membership-checked on demand, memoised per call
-        gate_cache: dict[str, bool] = {
-            word: (word_id in hits) for word_id, word in enumerate(self._automaton.words)
-        }
+        gate_cache: dict[str, bool] = {}
         firing: list[int] = []
         rules = self.yara.rules
         for position in self._positions(hits, "yara", self._fallback_yara):
             rule = rules[position]
+            started = time.perf_counter() if cost_sink is not None else 0.0
             blocked: set[str] = set()
             for identifier, atom in self._yara_gates[position].items():
-                present = gate_cache.get(atom)
-                if present is None:
-                    present = atom in folded
-                    gate_cache[atom] = present
+                atom_id = self._atom_ids.get(atom)
+                if atom_id is not None:
+                    present = atom_id in hits
+                else:
+                    present = gate_cache.get(atom)
+                    if present is None:
+                        present = atom in folded
+                        gate_cache[atom] = present
                 if not present:
                     blocked.add(identifier)
             evaluator = _LazyConditionEvaluator(rule.strings, text, blocked)
             if rule.ast.condition is not None and evaluator.evaluate(rule.ast.condition):
                 firing.append(position)
+            if cost_sink is not None:
+                cost_sink.record(
+                    "yara", rule.name, time.perf_counter() - started, package
+                )
         return firing
 
-    def yara_rule_names(self, text: str) -> list[str]:
+    def yara_rule_names(
+        self, text: str, cost_sink=None, package: str = ""
+    ) -> list[str]:
         """Names of the YARA rules that fire on ``text`` (in rule order).
 
         The detection-service fast path: identical rule names to
@@ -349,7 +405,10 @@ class RuleIndex:
         if self.yara is None:
             return []
         rules = self.yara.rules
-        return [rules[position].name for position in self._firing_positions(text)]
+        return [
+            rules[position].name
+            for position in self._firing_positions(text, cost_sink, package)
+        ]
 
     def match_yara(self, text: str) -> list[RuleMatch]:
         """Identical to ``CompiledRuleSet.match(text)``, prefilter included.
@@ -368,11 +427,16 @@ class RuleIndex:
                 results.append(found)
         return results
 
-    def match_semgrep(self, target: ScanTarget) -> list[SemgrepFinding]:
+    def match_semgrep(self, target: ScanTarget, cost_sink=None) -> list[SemgrepFinding]:
         """Identical to ``CompiledSemgrepRuleSet.match_target(target)``."""
         findings: list[SemgrepFinding] = []
         for rule in self.candidate_semgrep_rules(target):
+            started = time.perf_counter() if cost_sink is not None else 0.0
             findings.extend(rule.match_target(target))
+            if cost_sink is not None:
+                cost_sink.record(
+                    "semgrep", rule.id, time.perf_counter() - started, target.name
+                )
         return findings
 
     # -- introspection ------------------------------------------------------------

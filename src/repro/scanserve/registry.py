@@ -13,24 +13,35 @@ from __future__ import annotations
 
 import threading
 import time
+import uuid
 from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.scanserve.atoms import DEFAULT_MIN_ATOM_LENGTH
 from repro.scanserve.index import RuleIndex
 from repro.semgrepx.compiler import CompiledSemgrepRuleSet
+from repro.utils.hashing import stable_digest
 from repro.yarax.compiler import CompiledRuleSet
 
 
 @dataclass
 class RulesetVersion:
-    """An immutable published ruleset plus its prebuilt index."""
+    """An immutable published ruleset plus its prebuilt index.
+
+    ``cache_key`` identifies the ruleset's *content* for result caches: two
+    versions share a key iff they were published from identical rule
+    sources, so a persistent cache can safely serve entries across process
+    restarts (where the version counter starts over at 1).  When no content
+    digest is available the key is unique per publish — correct, just never
+    shared across processes.
+    """
 
     version: int
     yara: Optional[CompiledRuleSet]
     semgrep: Optional[CompiledSemgrepRuleSet]
     index: RuleIndex
     label: str = ""
+    cache_key: str = ""
     created_at: float = field(default_factory=time.time)
 
     @property
@@ -65,12 +76,19 @@ class RulesetRegistry:
         semgrep: Optional[CompiledSemgrepRuleSet] = None,
         label: str = "",
         activate: bool = True,
+        content_digest: str = "",
     ) -> RulesetVersion:
         """Publish a new version; the index is built before the swap so the
-        service never observes a half-initialised ruleset."""
+        service never observes a half-initialised ruleset.
+
+        ``content_digest`` (a stable digest of the rule sources) lets result
+        caches recognise the same ruleset across processes; without one the
+        version gets a unique key and its cached results die with it.
+        """
         if yara is None and semgrep is None:
             raise ValueError("publish needs at least one rule set")
         index = RuleIndex(yara=yara, semgrep=semgrep, min_atom_length=self.min_atom_length)
+        cache_key = content_digest or f"unshared-{uuid.uuid4().hex}"
         with self._lock:
             version = RulesetVersion(
                 version=self._next_version,
@@ -78,6 +96,7 @@ class RulesetRegistry:
                 semgrep=semgrep,
                 index=index,
                 label=label,
+                cache_key=cache_key,
             )
             self._next_version += 1
             self._versions[version.version] = version
@@ -94,7 +113,18 @@ class RulesetRegistry:
         """
         yara = ruleset.compile_yara() if ruleset.yara_rules else None
         semgrep = ruleset.compile_semgrep() if ruleset.semgrep_rules else None
-        return self.publish(yara=yara, semgrep=semgrep, label=label, activate=activate)
+        digest = stable_digest(
+            "\x00".join(
+                f"{rule.format}\x01{rule.name}\x01{rule.text}"
+                for rule in sorted(
+                    ruleset.rules, key=lambda r: (r.format, r.name, r.text)
+                )
+            )
+        )
+        return self.publish(
+            yara=yara, semgrep=semgrep, label=label, activate=activate,
+            content_digest=digest,
+        )
 
     # -- resolution ---------------------------------------------------------------
     def current(self) -> RulesetVersion:

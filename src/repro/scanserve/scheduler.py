@@ -192,6 +192,11 @@ class BoundedQueue:
             self._not_full.notify_all()
             self._not_empty.notify_all()
 
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._items)

@@ -24,21 +24,28 @@ from repro.evaluation.detector import (
     RuleScanner,
     ScanTimings,
 )
-from repro.scanserve.cache import ScanResultCache
+from repro.scanserve.cache import DiskScanResultCache, ScanResultCache
 from repro.scanserve.registry import RulesetRegistry, RulesetVersion
 from repro.scanserve.scheduler import AUTO, ScanScheduler, SchedulerReport, ShardStats
+from repro.scanserve.telemetry import RuleCost, RuleCostSample, RuleCostTracker
 
 # -- worker-side state -------------------------------------------------------------
 # Module level so the process lane can ship it through the pool initializer;
 # the in-process lane reuses the exact same functions against this module's
 # globals.
 _WORKER_SCANNER: Optional[RuleScanner] = None
+_WORKER_TRACK_COSTS: bool = False
 
 
 def _worker_init(
-    yara, semgrep, index, match_threshold: int, include_metadata_in_text: bool
+    yara,
+    semgrep,
+    index,
+    match_threshold: int,
+    include_metadata_in_text: bool,
+    track_rule_costs: bool = False,
 ) -> None:
-    global _WORKER_SCANNER
+    global _WORKER_SCANNER, _WORKER_TRACK_COSTS
     _WORKER_SCANNER = RuleScanner(
         yara_rules=yara,
         semgrep_rules=semgrep,
@@ -46,18 +53,25 @@ def _worker_init(
         include_metadata_in_text=include_metadata_in_text,
         index=index,
     )
+    _WORKER_TRACK_COSTS = track_rule_costs
 
 
-def _scan_shard(shard: list[tuple[int, "Package | PreparedPackage"]]) -> tuple[list, ScanTimings, float]:
-    """Scan one shard; returns (indexed detections, timings, seconds)."""
+def _scan_shard(
+    shard: list[tuple[int, "Package | PreparedPackage"]],
+) -> tuple[list, ScanTimings, float, Optional[RuleCostSample]]:
+    """Scan one shard; returns (indexed detections, timings, seconds, costs)."""
     assert _WORKER_SCANNER is not None, "worker not initialised"
     started = time.perf_counter()
     timings = ScanTimings()
+    costs = RuleCostSample() if _WORKER_TRACK_COSTS else None
     detections = [
-        (position, _WORKER_SCANNER.scan_package(package, timings=timings))
+        (
+            position,
+            _WORKER_SCANNER.scan_package(package, timings=timings, cost_sink=costs),
+        )
         for position, package in shard
     ]
-    return detections, timings, time.perf_counter() - started
+    return detections, timings, time.perf_counter() - started, costs
 
 
 @dataclass
@@ -69,10 +83,12 @@ class ScanServiceConfig:
     max_workers: Optional[int] = None
     enable_cache: bool = True
     cache_entries: int = 4096
+    cache_dir: Optional[str] = None  # set -> persistent on-disk LRU backend
     match_threshold: int = 1
     include_metadata_in_text: bool = True
     min_atom_length: int = 3
     use_index: bool = True  # False = naive per-rule scanning (for comparison)
+    track_rule_costs: bool = True  # per-rule timing telemetry (top_slow_rules)
 
 
 @dataclass
@@ -166,8 +182,14 @@ class ScanService:
         self.registry = registry or RulesetRegistry(
             min_atom_length=self.config.min_atom_length
         )
-        self.cache = ScanResultCache(self.config.cache_entries)
+        if self.config.cache_dir:
+            self.cache: Union[ScanResultCache, DiskScanResultCache] = (
+                DiskScanResultCache(self.config.cache_dir, self.config.cache_entries)
+            )
+        else:
+            self.cache = ScanResultCache(self.config.cache_entries)
         self.stats = ServiceStats()
+        self.rule_costs = RuleCostTracker()
 
     # -- publishing (delegates to the registry) ------------------------------------
     def publish(self, yara=None, semgrep=None, label: str = "") -> RulesetVersion:
@@ -175,6 +197,15 @@ class ScanService:
 
     def publish_generated(self, ruleset, label: str = "") -> RulesetVersion:
         return self.registry.publish_generated(ruleset, label=label)
+
+    # -- telemetry -----------------------------------------------------------------
+    def top_slow_rules(self, n: int = 10, by: str = "max") -> list[RuleCost]:
+        """The most expensive rules seen so far (pathological-regex radar).
+
+        Populated whenever ``track_rule_costs`` is on (the default); rules
+        the prefilter index skipped cost nothing and never appear.
+        """
+        return self.rule_costs.top_slow_rules(n, by=by)
 
     # -- scanning ------------------------------------------------------------------
     def scan_package(self, package: Package) -> PackageDetection:
@@ -203,7 +234,7 @@ class ScanService:
                     package, self.config.include_metadata_in_text
                 )
                 fingerprints[position] = prepared.fingerprint
-                cached = self.cache.get(prepared.fingerprint, ruleset.version)
+                cached = self.cache.get(prepared.fingerprint, ruleset.cache_key)
                 if cached is not None:
                     ordered[position] = cached
                     cache_hits += 1
@@ -232,9 +263,14 @@ class ScanService:
                     ruleset.index if self.config.use_index else None,
                     self.config.match_threshold,
                     self.config.include_metadata_in_text,
+                    self.config.track_rule_costs,
                 ),
             )
-            for shard_id, (detections, timings, seconds) in enumerate(report.results):
+            for shard_id, (detections, timings, seconds, costs) in enumerate(
+                report.results
+            ):
+                if costs is not None:
+                    self.rule_costs.absorb(costs)
                 stats = ShardStats(shard_id=shard_id, seconds=seconds)
                 for position, detection in detections:
                     ordered[position] = detection
@@ -243,7 +279,7 @@ class ScanService:
                         stats.matched_packages += 1
                     if self.config.enable_cache:
                         self.cache.put(
-                            fingerprints[position], ruleset.version, detection
+                            fingerprints[position], ruleset.cache_key, detection
                         )
                 result.timings.merge(timings)
                 shard_stats.append(stats)

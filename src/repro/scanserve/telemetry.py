@@ -1,0 +1,129 @@
+"""Per-rule cost accounting.
+
+Generated rule sets occasionally contain pathological rules (catastrophic
+regexes, anchor-less patterns that structural-match every file); at registry
+scale one such rule dominates the whole scan budget.  The service therefore
+times every rule evaluation and aggregates the figures per rule:
+:meth:`RuleCostTracker.top_slow_rules` surfaces the worst offenders so they
+can be rewritten or retired.
+
+Two pieces, split along the worker boundary:
+
+* :class:`RuleCostSample` — a lock-free, picklable accumulator one shard
+  fills while scanning (shipped back from process-pool workers);
+* :class:`RuleCostTracker` — the thread-safe service-lifetime aggregate
+  that absorbs samples and answers telemetry queries.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RuleCost:
+    """Aggregate evaluation cost of one rule."""
+
+    rule_key: str
+    engine: str  # "yara" | "semgrep"
+    evaluations: int = 0
+    total_seconds: float = 0.0
+    max_seconds: float = 0.0
+    slowest_package: str = ""
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.evaluations if self.evaluations else 0.0
+
+    def describe(self) -> str:
+        return (
+            f"{self.engine}:{self.rule_key}: {self.evaluations} evals, "
+            f"max {self.max_seconds * 1000:.2f}ms on {self.slowest_package or '-'}, "
+            f"total {self.total_seconds * 1000:.2f}ms"
+        )
+
+
+@dataclass
+class RuleCostSample:
+    """Per-shard rule timings (plain data, safe to pickle across workers)."""
+
+    costs: dict[tuple[str, str], RuleCost] = field(default_factory=dict)
+
+    def record(self, engine: str, rule_key: str, seconds: float, package: str) -> None:
+        cost = self.costs.get((engine, rule_key))
+        if cost is None:
+            cost = RuleCost(rule_key=rule_key, engine=engine)
+            self.costs[(engine, rule_key)] = cost
+        cost.evaluations += 1
+        cost.total_seconds += seconds
+        if seconds >= cost.max_seconds:
+            cost.max_seconds = seconds
+            cost.slowest_package = package
+
+    def __len__(self) -> int:
+        return len(self.costs)
+
+
+class RuleCostTracker:
+    """Thread-safe service-lifetime aggregation of rule costs."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._costs: dict[tuple[str, str], RuleCost] = {}
+
+    def absorb(self, sample: RuleCostSample) -> None:
+        with self._lock:
+            for key, incoming in sample.costs.items():
+                cost = self._costs.get(key)
+                if cost is None:
+                    self._costs[key] = RuleCost(
+                        rule_key=incoming.rule_key,
+                        engine=incoming.engine,
+                        evaluations=incoming.evaluations,
+                        total_seconds=incoming.total_seconds,
+                        max_seconds=incoming.max_seconds,
+                        slowest_package=incoming.slowest_package,
+                    )
+                    continue
+                cost.evaluations += incoming.evaluations
+                cost.total_seconds += incoming.total_seconds
+                if incoming.max_seconds >= cost.max_seconds:
+                    cost.max_seconds = incoming.max_seconds
+                    cost.slowest_package = incoming.slowest_package
+
+    def top_slow_rules(self, n: int = 10, by: str = "max") -> list[RuleCost]:
+        """The ``n`` most expensive rules, slowest first.
+
+        ``by='max'`` ranks by worst single evaluation (pathological-regex
+        hunting); ``by='total'`` ranks by cumulative cost (capacity
+        planning); ``by='mean'`` by average evaluation cost.
+        """
+        keys = {
+            "max": lambda c: c.max_seconds,
+            "total": lambda c: c.total_seconds,
+            "mean": lambda c: c.mean_seconds,
+        }
+        if by not in keys:
+            raise ValueError(f"by must be one of {sorted(keys)}, got {by!r}")
+        with self._lock:
+            ranked = sorted(self._costs.values(), key=keys[by], reverse=True)
+            return [
+                RuleCost(
+                    rule_key=c.rule_key,
+                    engine=c.engine,
+                    evaluations=c.evaluations,
+                    total_seconds=c.total_seconds,
+                    max_seconds=c.max_seconds,
+                    slowest_package=c.slowest_package,
+                )
+                for c in ranked[: max(0, n)]
+            ]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._costs)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._costs.clear()

@@ -117,6 +117,24 @@ class Pattern:
         Patterns made only of metavariables/ellipses return an empty set
         (meaning "no cheap pre-filter available").
         """
+        found = self.identifier_anchors()
+        for root in self._nodes:
+            for node in ast.walk(root):
+                if isinstance(node, ast.Constant) and isinstance(node.value, str):
+                    if len(node.value) >= 4:
+                        found.add(node.value)
+        return found
+
+    def identifier_anchors(self) -> set[str]:
+        """The anchors guaranteed to appear *literally* in matching source.
+
+        Identifiers (names, attribute segments) are spelled out wherever
+        they are used, so each one is individually required in the text of
+        any match — safe for all-of prefilter gates.  String constants are
+        excluded: a source file can spell ``"evil"`` as ``"\\x65vil"`` and
+        still match the pattern's AST, so a string anchor is only sound
+        under the any-of semantics of :meth:`anchors`.
+        """
         found: set[str] = set()
         for root in self._nodes:
             for node in ast.walk(root):
@@ -127,9 +145,6 @@ class Pattern:
                 elif isinstance(node, ast.Name):
                     if not node.id.startswith(_MV_PREFIX) and node.id != _ELLIPSIS_NAME:
                         found.add(node.id)
-                elif isinstance(node, ast.Constant) and isinstance(node.value, str):
-                    if len(node.value) >= 4:
-                        found.add(node.value)
         return found
 
     # -- matching ----------------------------------------------------------------------

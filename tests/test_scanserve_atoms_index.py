@@ -232,6 +232,154 @@ rules:
         assert not atoms.indexable
 
 
+# -- semgrep required anchor sets (all-of semantics) --------------------------------
+
+
+def _semgrep_rule(rule_id: str, body: str):
+    return compile_yaml(
+        f"""
+rules:
+  - id: {rule_id}
+    languages: [python]
+    message: test rule
+    severity: WARNING
+{body}
+"""
+    ).rules[0]
+
+
+class TestSemgrepRequiredAnchorSets:
+    def test_single_pattern_requires_all_anchors(self):
+        rule = _semgrep_rule("osd", "    pattern: os.system($CMD)")
+        atoms = semgrep_rule_atoms(rule)
+        assert atoms.indexable
+        assert atoms.required_sets == (("os", "system"),)
+        # one representative atom per set (the most selective literal)
+        assert atoms.atoms == ("system",)
+
+    def test_either_alternatives_form_separate_sets(self):
+        rule = _semgrep_rule(
+            "either",
+            "    pattern-either:\n"
+            "      - pattern: subprocess.run($X)\n"
+            "      - pattern: os.popen($X)\n",
+        )
+        atoms = semgrep_rule_atoms(rule)
+        assert atoms.indexable
+        assert set(atoms.required_sets) == {("run", "subprocess"), ("os", "popen")}
+
+    def test_patterns_conjunction_unions_anchors(self):
+        rule = _semgrep_rule(
+            "conj",
+            "    patterns:\n"
+            "      - pattern: marshal.loads($X)\n"
+            "      - pattern: socket.socket(...)\n",
+        )
+        atoms = semgrep_rule_atoms(rule)
+        assert atoms.indexable
+        assert atoms.required_sets == (("loads", "marshal", "socket"),)
+
+    def test_regex_runs_join_the_required_sets(self):
+        rule = _semgrep_rule(
+            "mixed",
+            "    pattern: os.system($CMD)\n"
+            '    pattern-regex: "secret_[a-z]+_key"\n',
+        )
+        atoms = semgrep_rule_atoms(rule)
+        assert atoms.indexable
+        assert ("os", "system") in atoms.required_sets
+        assert ("_key", "secret_") in atoms.required_sets
+
+    def test_anchorless_alternative_disables_indexing(self):
+        rule = _semgrep_rule(
+            "mv",
+            "    pattern-either:\n"
+            "      - pattern: os.system($CMD)\n"
+            "      - pattern: $F($X)\n",  # matches any call: no prefilter
+        )
+        atoms = semgrep_rule_atoms(rule)
+        assert not atoms.indexable
+
+    def test_all_of_gate_skips_partial_anchor_presence(self):
+        """A file containing only *some* anchors of a pattern is skipped —
+        the upgrade over the old any-anchor prefilter."""
+        from repro.semgrepx import ScanTarget
+
+        rule = _semgrep_rule("osd", "    pattern: os.system($CMD)")
+        index = RuleIndex(semgrep=_wrap_rules([rule]))
+        # 'system' present but 'os' absent: candidacy fires, the gate kills it
+        partial = ScanTarget.from_files("partial", [("a.py", "my_system = 1\n")])
+        assert index.candidate_semgrep_rules(partial) == []
+        assert index.match_semgrep(partial) == []
+        # both anchors present: the rule is evaluated (and fires)
+        full = ScanTarget.from_files("full", [("a.py", "import os\nos.system('x')\n")])
+        assert [r.id for r in index.candidate_semgrep_rules(full)] == ["osd"]
+        assert [f.rule_id for f in index.match_semgrep(full)] == ["osd"]
+
+    def test_string_anchors_never_join_the_all_of_gate(self):
+        """A string constant can be escape-spelled in matching source
+        (``"\\x65vil..."``), so it must not be a required all-of member."""
+        from repro.semgrepx import ScanTarget
+
+        rule = _semgrep_rule("strc", '    pattern: foo("evilpayload")')
+        assert rule.anchors == {"foo", "evilpayload"}
+        atoms = semgrep_rule_atoms(rule)
+        assert atoms.indexable
+        assert atoms.required_sets == (("foo",),)  # identifiers only
+        index = RuleIndex(semgrep=_wrap_rules([rule]))
+        escaped = ScanTarget.from_files(
+            "escaped", [("a.py", 'foo("\\x65vilpayload")\n')]
+        )
+        naive = _wrap_rules([rule]).match_target(escaped)
+        assert [f.rule_id for f in naive] == ["strc"]
+        assert index.match_semgrep(escaped) == naive  # parity preserved
+
+    def test_string_only_pattern_degrades_to_any_of(self):
+        """A mode with no identifier anchors falls back to the matcher's
+        own any-of anchor semantics instead of an unsound all-of gate."""
+        rule = _semgrep_rule("stronly", '    pattern: "\\"evilpayload\\""')
+        atoms = semgrep_rule_atoms(rule)
+        if rule.anchors:
+            assert atoms.indexable
+            assert all(len(s) == 1 for s in atoms.required_sets)
+        else:
+            assert not atoms.indexable
+
+    def test_gate_parity_with_naive_matching(self):
+        from repro.semgrepx import ScanTarget
+
+        rules = _wrap_rules(
+            [
+                _semgrep_rule("osd", "    pattern: os.system($CMD)"),
+                _semgrep_rule(
+                    "either",
+                    "    pattern-either:\n"
+                    "      - pattern: subprocess.run($X)\n"
+                    "      - pattern: os.popen($X)\n",
+                ),
+                _semgrep_rule("rx", '    pattern-regex: "secret_[a-z]+_key"'),
+            ]
+        )
+        index = RuleIndex(semgrep=rules)
+        sources = [
+            "import os\nos.system('x')\n",
+            "import subprocess\nsubprocess.run(['ls'])\n",
+            "os.popen('whoami')\n",
+            "token = 'secret_api_key'\n",
+            "my_system = 1\nrun = 2\n",  # partial anchors only
+            "print('clean')\n",
+        ]
+        for i, source in enumerate(sources):
+            target = ScanTarget.from_files(f"t{i}", [("a.py", source)])
+            assert rules.match_target(target) == index.match_semgrep(target)
+
+
+def _wrap_rules(rules):
+    from repro.semgrepx.compiler import CompiledSemgrepRuleSet
+
+    return CompiledSemgrepRuleSet(rules=list(rules))
+
+
 # -- Aho–Corasick -------------------------------------------------------------------
 
 

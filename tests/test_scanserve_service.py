@@ -8,6 +8,9 @@ from repro.cli import main as cli_main
 from repro.evaluation.detector import PackageDetection, RuleScanner
 from repro.scanserve import (
     BoundedQueue,
+    DiskScanResultCache,
+    RuleCostSample,
+    RuleCostTracker,
     RulesetRegistry,
     ScanResultCache,
     ScanScheduler,
@@ -124,6 +127,168 @@ class TestScanResultCache:
         cache.put("a", 2, self._detection())
         assert cache.invalidate_version(1) == 2
         assert len(cache) == 1
+
+
+# -- persistent disk cache ----------------------------------------------------------
+
+
+class TestDiskScanResultCache:
+    def _detection(self, name="pkg==1.0"):
+        return PackageDetection(
+            package=name, actual_malicious=True,
+            yara_rules=["r1"], semgrep_rules=["s1"],
+        )
+
+    def test_roundtrip(self, tmp_path):
+        cache = DiskScanResultCache(tmp_path / "cache")
+        assert cache.get("fp", 1) is None
+        cache.put("fp", 1, self._detection())
+        hit = cache.get("fp", 1)
+        assert hit is not None
+        assert (hit.package, hit.yara_rules, hit.semgrep_rules) == (
+            "pkg==1.0", ["r1"], ["s1"],
+        )
+        assert cache.get("fp", 2) is None  # version isolation
+
+    def test_entries_survive_restart(self, tmp_path):
+        directory = tmp_path / "cache"
+        first = DiskScanResultCache(directory)
+        first.put("fp-a", 1, self._detection("a"))
+        first.put("fp-b", 1, self._detection("b"))
+        reborn = DiskScanResultCache(directory)  # fresh process attaches
+        assert len(reborn) == 2
+        assert reborn.get("fp-a", 1).package == "a"
+
+    def test_lru_eviction_deletes_files(self, tmp_path):
+        directory = tmp_path / "cache"
+        cache = DiskScanResultCache(directory, max_entries=2)
+        cache.put("a", 1, self._detection("a"))
+        cache.put("b", 1, self._detection("b"))
+        assert cache.get("a", 1) is not None  # refresh 'a'
+        cache.put("c", 1, self._detection("c"))
+        assert cache.get("b", 1) is None
+        assert cache.get("a", 1) is not None
+        assert len(list(directory.glob("*.json"))) == 2
+        assert cache.stats.evictions == 1
+
+    def test_corrupt_entries_dropped_on_load(self, tmp_path):
+        directory = tmp_path / "cache"
+        cache = DiskScanResultCache(directory)
+        cache.put("fp", 1, self._detection())
+        (directory / "garbage.json").write_text("{not json", encoding="utf-8")
+        reborn = DiskScanResultCache(directory)
+        assert len(reborn) == 1
+        assert not (directory / "garbage.json").exists()
+
+    def test_int_and_str_keys_never_serve_each_other(self, tmp_path):
+        """Filenames stringify the key, so 1 and "1" share a file; a typed
+        mismatch must read as a miss, not the other key's result."""
+        cache = DiskScanResultCache(tmp_path / "cache")
+        cache.put("fp", 1, self._detection("int-keyed"))
+        cache.put("fp", "1", self._detection("str-keyed"))
+        assert cache.get("fp", 1) is None  # overwritten file: miss, not a lie
+        assert cache.get("fp", "1").package == "str-keyed"
+
+    def test_invalidate_version_and_clear(self, tmp_path):
+        cache = DiskScanResultCache(tmp_path / "cache")
+        cache.put("a", 1, self._detection())
+        cache.put("b", 2, self._detection())
+        assert cache.invalidate_version(1) == 1
+        assert len(cache) == 1
+        cache.clear()
+        assert len(cache) == 0
+        assert not list((tmp_path / "cache").glob("*.json"))
+
+    def test_service_cache_survives_restart(self, generated_rules, small_dataset, tmp_path):
+        """A redeployed service keeps its warm cache via cache_dir."""
+        config = ScanServiceConfig(mode="inprocess", cache_dir=str(tmp_path / "cache"))
+        first = ScanService(config=config)
+        first.publish_generated(generated_rules)
+        cold = first.scan_batch(small_dataset.packages[:6])
+        assert cold.cache_hits == 0
+
+        reborn = ScanService(config=config)  # simulates a process restart
+        reborn.publish_generated(generated_rules)  # republished as v1 again
+        warm = reborn.scan_batch(small_dataset.packages[:6])
+        assert warm.cache_hits == 6
+        assert [
+            (d.package, d.yara_rules, d.semgrep_rules) for d in warm.detections
+        ] == [(d.package, d.yara_rules, d.semgrep_rules) for d in cold.detections]
+
+    def test_restart_with_different_rules_never_serves_stale_results(
+        self, small_dataset, tmp_path
+    ):
+        """Both processes publish *v1*, but different rules: results keyed on
+        the ruleset content digest must not leak across."""
+        config = ScanServiceConfig(mode="inprocess", cache_dir=str(tmp_path / "cache"))
+        first = ScanService(config=config)
+        first.publish(yara=_tiny_yara("catch_all", needle="import"))
+        hot = first.scan_batch(small_dataset.packages[:4])
+        assert all(d.matched_rules for d in hot.detections)
+
+        reborn = ScanService(config=config)
+        reborn.publish(yara=_tiny_yara("miss_all", needle="no_such_token_anywhere"))
+        assert reborn.registry.current().version == 1  # same version number!
+        fresh = reborn.scan_batch(small_dataset.packages[:4])
+        assert fresh.cache_hits == 0
+        assert all(not d.matched_rules for d in fresh.detections)
+
+
+# -- per-rule cost accounting --------------------------------------------------------
+
+
+class TestRuleCostAccounting:
+    def test_sample_records_and_tracker_merges(self):
+        sample = RuleCostSample()
+        sample.record("yara", "r1", 0.5, "pkg-a")
+        sample.record("yara", "r1", 1.5, "pkg-b")
+        sample.record("semgrep", "s1", 0.25, "pkg-a")
+        tracker = RuleCostTracker()
+        tracker.absorb(sample)
+        other = RuleCostSample()
+        other.record("yara", "r1", 2.0, "pkg-c")
+        tracker.absorb(other)
+        top = tracker.top_slow_rules(2)
+        assert top[0].rule_key == "r1"
+        assert top[0].evaluations == 3
+        assert top[0].max_seconds == 2.0
+        assert top[0].slowest_package == "pkg-c"
+        assert top[0].total_seconds == pytest.approx(4.0)
+        assert top[0].mean_seconds == pytest.approx(4.0 / 3)
+
+    def test_ranking_modes(self):
+        tracker = RuleCostTracker()
+        sample = RuleCostSample()
+        for _ in range(10):  # cheap but hot
+            sample.record("yara", "hot", 0.2, "p")
+        sample.record("yara", "spiky", 1.0, "q")
+        tracker.absorb(sample)
+        assert tracker.top_slow_rules(1, by="max")[0].rule_key == "spiky"
+        assert tracker.top_slow_rules(1, by="total")[0].rule_key == "hot"
+        with pytest.raises(ValueError):
+            tracker.top_slow_rules(1, by="p99")
+
+    def test_service_populates_top_slow_rules(self, generated_rules, small_dataset):
+        svc = ScanService(config=ScanServiceConfig(mode="inprocess", enable_cache=False))
+        svc.publish_generated(generated_rules)
+        svc.scan_batch(small_dataset.packages[:6])
+        top = svc.top_slow_rules(5)
+        assert top
+        known = set(generated_rules.compile_yara().rule_names()) | set(
+            generated_rules.compile_semgrep().rule_ids()
+        )
+        assert all(cost.rule_key in known for cost in top)
+        assert all(cost.evaluations > 0 for cost in top)
+        assert top == sorted(top, key=lambda c: c.max_seconds, reverse=True)
+        assert "evals" in top[0].describe()
+
+    def test_tracking_can_be_disabled(self, generated_rules, small_dataset):
+        svc = ScanService(
+            config=ScanServiceConfig(mode="inprocess", track_rule_costs=False)
+        )
+        svc.publish_generated(generated_rules)
+        svc.scan_batch(small_dataset.packages[:4])
+        assert svc.top_slow_rules() == []
 
 
 # -- scheduler ----------------------------------------------------------------------
