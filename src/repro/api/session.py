@@ -56,6 +56,7 @@ class SessionResult:
     info: PipelineRunInfo = field(default_factory=PipelineRunInfo)
     stage_seconds: dict[str, float] = field(default_factory=dict)
     batch_sizes: list[int] = field(default_factory=list)
+    shard_label: str = ""  # which fleet shard produced this (orchestrated runs)
 
     @property
     def published(self) -> bool:
@@ -71,8 +72,9 @@ class SessionResult:
             f"{name} {seconds:.2f}s" for name, seconds in self.stage_seconds.items()
         )
         where = f" -> registry v{self.version.version}" if self.version else ""
+        shard = f"[{self.shard_label}] " if self.shard_label else ""
         return (
-            f"{self.info.package_count} packages in {len(self.batch_sizes)} "
+            f"{shard}{self.info.package_count} packages in {len(self.batch_sizes)} "
             f"batch(es): {counts['yara']} YARA + {counts['semgrep']} Semgrep rules "
             f"({counts['rejected']} rejected){where}"
             + (f" [{stages}]" if stages else "")
@@ -91,6 +93,7 @@ class GenerationSession:
         auto_publish: bool = True,
         label: str = "",
         embedder: CodeEmbedder | None = None,
+        shard_label: str = "",
     ) -> None:
         self.config = config or RuleLLMConfig()
         self.provider = provider or SimulatedAnalystLLM(
@@ -103,6 +106,7 @@ class GenerationSession:
         self.registry = registry
         self.auto_publish = auto_publish
         self.label = label
+        self.shard_label = shard_label
         self._feed_lock = threading.Lock()  # keeps _pending/_batch_sizes coherent
         self._pending: list[Package] = []
         self._batch_sizes: list[int] = []
@@ -201,6 +205,7 @@ class GenerationSession:
             embedder=self.embedder,
             packages=packages,
             batch_sizes=list(batch_sizes),
+            shard_label=self.shard_label,
         )
         context.rule_set.model = self.provider.model_name
         context.info.package_count = len(packages)
@@ -231,6 +236,7 @@ class GenerationSession:
             info=context.info,
             stage_seconds=context.stage_seconds,
             batch_sizes=list(batch_sizes),
+            shard_label=self.shard_label,
         )
         self.results.append(result)
         return result

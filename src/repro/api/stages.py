@@ -54,6 +54,7 @@ class StageContext:
     embedder: CodeEmbedder
     packages: list[Package]
     batch_sizes: list[int] = field(default_factory=list)
+    shard_label: str = ""  # set when this run is one shard of an orchestrated fleet
 
     # populated by the stages
     clusters: ClusterResult | None = None
@@ -118,6 +119,30 @@ class PresetClusterStage(PipelineStage):
     def run(self, context: StageContext) -> None:
         context.cluster_groups = [(self.cluster_id, list(context.packages))]
         context.info.cluster_count = 1
+
+
+class PresetGroupsStage(PipelineStage):
+    """Adopt pre-formed clusters, preserving their (global) cluster ids.
+
+    The sharded-generation seam: a :class:`repro.api.orchestrator.
+    GenerationOrchestrator` clusters the full corpus **once**, hands each
+    shard the whole clusters assigned to it, and the shard's session skips
+    re-clustering.  Because refinement groups by ``(cluster id, format,
+    origin)`` and alignment is per-rule, a shard's output is exactly the
+    per-cluster slice of what one big session would produce — which is what
+    makes the merged publish bit-for-bit identical to single-session rules.
+    """
+
+    name = "cluster"
+
+    def __init__(self, groups: list[tuple[int, list[Package]]]) -> None:
+        self.groups = [(cluster_id, list(members)) for cluster_id, members in groups]
+
+    def run(self, context: StageContext) -> None:
+        context.cluster_groups = [
+            (cluster_id, list(members)) for cluster_id, members in self.groups
+        ]
+        context.info.cluster_count = len(self.groups)
 
 
 class CraftStage(PipelineStage):

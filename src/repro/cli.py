@@ -1,6 +1,6 @@
 """Command-line interface (``rulellm``).
 
-Five subcommands cover the common workflows:
+Seven subcommands cover the common workflows:
 
 ``rulellm generate``
     Build a synthetic corpus (or load unpacked packages from a directory),
@@ -25,6 +25,19 @@ Five subcommands cover the common workflows:
     :class:`~repro.api.GenerationSession` in incremental batches, generate
     rules stage by stage, auto-publish them into the scan registry, and
     immediately scan the corpus with the freshly published version.
+
+``rulellm orchestrate``
+    Sharded generation: publish a baseline version, scan the corpus (which
+    fills the scan service's recency ring), then run a
+    :class:`~repro.api.GenerationOrchestrator` fleet over the corpus and
+    publish its output merged or stacked — the subscribed service re-scans
+    the recent window live and reports the detection delta.
+
+``rulellm registry``
+    Inspect and manage an on-disk registry directory of versioned rule sets
+    (``v1/``, ``v2/``, ... plus an ``ACTIVE`` marker): ``list`` compiles and
+    summarises every version, ``activate`` flips the marker, ``retire``
+    deletes a non-active version.
 """
 
 from __future__ import annotations
@@ -96,6 +109,57 @@ def _add_pipeline(subparsers) -> None:
     parser.add_argument("--threshold", type=int, default=1,
                         help="rules that must fire to call a package malicious (default 1)")
     parser.add_argument("--json", default=None, help="write the full batch report to this file")
+
+
+def _add_orchestrate(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "orchestrate",
+        help="sharded generation fleet -> merged/stacked publish -> live re-scan",
+    )
+    parser.add_argument("--model", default="gpt-4o", help="model profile")
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="synthetic corpus scale relative to the paper (default 0.05)")
+    parser.add_argument("--seed", type=int, default=1633)
+    parser.add_argument("--packages", default=None,
+                        help="directory of unpacked malicious packages to use instead of the synthetic corpus")
+    parser.add_argument("--shards", type=int, default=3,
+                        help="generation shards in the fleet (default 3)")
+    parser.add_argument("--plan", choices=["cluster", "behavior", "round-robin"],
+                        default="cluster",
+                        help="corpus partitioning strategy (default cluster: merged "
+                             "output is identical to a single-session run)")
+    parser.add_argument("--publish", choices=["merged", "stacked"], default="merged",
+                        help="merged: one union version; stacked: cumulative layers")
+    parser.add_argument("--max-workers", type=int, default=None,
+                        help="shard sessions run on this many threads (<=1: sequential)")
+    parser.add_argument("--baseline", type=float, default=0.4,
+                        help="fraction of the corpus used for the baseline version "
+                             "whose scan fills the re-scan window (default 0.4, 0 disables)")
+    parser.add_argument("--threshold", type=int, default=1,
+                        help="rules that must fire to call a package malicious (default 1)")
+    parser.add_argument("--output", default=None,
+                        help="also write the fleet's merged rule files to this directory")
+    parser.add_argument("--registry-dir", default=None,
+                        help="save the merged rules as the next version of this "
+                             "on-disk registry directory (see 'rulellm registry')")
+    parser.add_argument("--json", default=None,
+                        help="write the fleet/re-scan report to this file")
+
+
+def _add_registry(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "registry",
+        help="manage an on-disk registry directory of versioned rule sets",
+    )
+    actions = parser.add_subparsers(dest="registry_command", required=True)
+    list_parser = actions.add_parser("list", help="compile and summarise every version")
+    list_parser.add_argument("dir", help="registry directory (v1/, v2/, ... + ACTIVE)")
+    activate_parser = actions.add_parser("activate", help="mark a version as active")
+    activate_parser.add_argument("dir")
+    activate_parser.add_argument("version", type=int)
+    retire_parser = actions.add_parser("retire", help="delete a non-active version")
+    retire_parser.add_argument("dir")
+    retire_parser.add_argument("version", type=int)
 
 
 def _add_evaluate(subparsers) -> None:
@@ -258,25 +322,10 @@ def _print_slow_rules(service, limit: int = 3) -> None:
 def _cmd_pipeline(args) -> int:
     from repro.api import GenerationSession, ScanService, ScanServiceConfig
 
-    package_dirs: list[Path] = []
-    if args.packages:
-        try:
-            package_dirs = _discover_package_dirs([args.packages])
-        except FileNotFoundError as exc:
-            print(str(exc), file=sys.stderr)
-            return 1
-        malware = [load_package_from_directory(path, label="malware")
-                   for path in package_dirs]
-        if not malware:
-            print(f"no package directories found under {args.packages}",
-                  file=sys.stderr)
-            return 1
-        scan_targets = malware
-    else:
-        dataset_config = DatasetConfig(scale=args.scale, seed=args.seed)
-        dataset = build_dataset(dataset_config)
-        malware = dataset.malware
-        scan_targets = dataset.packages
+    loaded = _load_malware_corpus(args)
+    if loaded is None:
+        return 1
+    malware, scan_targets, package_dirs = loaded
 
     service = ScanService(
         config=ScanServiceConfig(
@@ -331,6 +380,217 @@ def _cmd_pipeline(args) -> int:
     return 0
 
 
+def _load_malware_corpus(args):
+    """Shared corpus loading for pipeline-style commands.
+
+    Returns ``(malware, scan_targets, package_dirs)`` or an exit code on
+    failure.
+    """
+    if args.packages:
+        try:
+            package_dirs = _discover_package_dirs([args.packages])
+        except FileNotFoundError as exc:
+            print(str(exc), file=sys.stderr)
+            return None
+        malware = [load_package_from_directory(path, label="malware")
+                   for path in package_dirs]
+        if not malware:
+            print(f"no package directories found under {args.packages}",
+                  file=sys.stderr)
+            return None
+        return malware, malware, package_dirs
+    dataset_config = DatasetConfig(scale=args.scale, seed=args.seed)
+    dataset = build_dataset(dataset_config)
+    return dataset.malware, dataset.packages, []
+
+
+def _cmd_orchestrate(args) -> int:
+    import json as json_module
+
+    from repro.api import (
+        BehaviorShardPlan,
+        ClusterShardPlan,
+        GenerationOrchestrator,
+        GenerationSession,
+        RoundRobinShardPlan,
+        ScanService,
+        ScanServiceConfig,
+    )
+
+    loaded = _load_malware_corpus(args)
+    if loaded is None:
+        return 1
+    malware, scan_targets, _package_dirs = loaded
+
+    shards = max(1, args.shards)
+    plans = {
+        "cluster": lambda: ClusterShardPlan(shards),
+        "behavior": lambda: BehaviorShardPlan(max_shards=shards),
+        "round-robin": lambda: RoundRobinShardPlan(shards),
+    }
+    service = ScanService(
+        config=ScanServiceConfig(
+            mode="inprocess",
+            match_threshold=max(1, args.threshold),
+            live_rescan=True,
+        )
+    )
+    config = RuleLLMConfig.full(model=args.model, seed=args.seed)
+
+    baseline_count = min(len(malware), max(0, round(len(malware) * args.baseline)))
+    if baseline_count:
+        baseline = GenerationSession(config, registry=service.registry)
+        baseline.add_batch(malware[:baseline_count])
+        result = baseline.generate(label="baseline")
+        if result.version is not None:
+            print(f"baseline: {result.describe()}")
+            scanned = service.scan_batch(scan_targets)
+            print(
+                f"pre-scanned {scanned.packages} packages with "
+                f"v{scanned.ruleset_version} (re-scan window primed)"
+            )
+
+    orchestrator = GenerationOrchestrator(
+        config=config,
+        plan=plans[args.plan](),
+        registry=service.registry,
+        max_workers=args.max_workers,
+    )
+    print(f"orchestrating {shards}-shard fleet ({args.plan} plan, {args.model}) ...")
+    fleet = orchestrator.run(malware, publish=args.publish, label=f"{args.model} fleet")
+    print(fleet.describe())
+    if fleet.version is None:
+        print("no rules survived alignment; nothing published", file=sys.stderr)
+        return 1
+    for record in fleet.version.provenance:
+        print(f"  shard {record.describe()}")
+
+    delta = service.last_rescan
+    if delta is not None:
+        print(delta.describe())
+    print("\nregistry state:")
+    print(service.registry.describe())
+
+    batch = service.scan_batch(scan_targets)
+    malicious = sum(
+        1 for d in batch.detections if d.predicted(batch.result.match_threshold)
+    )
+    print(
+        f"\nscanned {batch.packages} packages with ruleset v{batch.ruleset_version}: "
+        f"{malicious} flagged malicious "
+        f"({batch.cache_hits} served straight from the re-scan's cache fill)"
+    )
+
+    if args.output:
+        output = fleet.rule_set.save(args.output)
+        print(f"wrote merged rule files under {output}")
+    if args.registry_dir:
+        version_dir, version = _registry_dir_add(Path(args.registry_dir), fleet.rule_set)
+        print(f"saved merged rules as {version_dir} (active v{version})")
+    if args.json:
+        report = {
+            "fleet": fleet.to_dict(),
+            "rescan": delta.to_dict() if delta is not None else None,
+            "registry_versions": service.registry.versions(),
+            "active_version": service.registry.current_version(),
+            "scanned_packages": batch.packages,
+            "flagged_malicious": malicious,
+        }
+        Path(args.json).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.json).write_text(
+            json_module.dumps(report, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote report to {args.json}")
+    return 0
+
+
+# -- on-disk registry directories ---------------------------------------------------
+_ACTIVE_MARKER = "ACTIVE"
+
+
+def _registry_dir_versions(root: Path) -> dict[int, Path]:
+    versions: dict[int, Path] = {}
+    if root.is_dir():
+        for path in root.iterdir():
+            if path.is_dir() and path.name.startswith("v") and path.name[1:].isdigit():
+                versions[int(path.name[1:])] = path
+    return versions
+
+
+def _registry_dir_active(root: Path) -> int | None:
+    marker = root / _ACTIVE_MARKER
+    try:
+        return int(marker.read_text(encoding="utf-8").strip())
+    except (OSError, ValueError):
+        return None
+
+
+def _registry_dir_add(root: Path, ruleset) -> tuple[Path, int]:
+    """Save ``ruleset`` as the next version of ``root`` and activate it."""
+    versions = _registry_dir_versions(root)
+    version = max(versions, default=0) + 1
+    version_dir = root / f"v{version}"
+    ruleset.save(version_dir)
+    (root / _ACTIVE_MARKER).write_text(f"{version}\n", encoding="utf-8")
+    return version_dir, version
+
+
+def _cmd_registry(args) -> int:
+    from repro.scanserve import RulesetRegistry
+
+    root = Path(args.dir)
+    versions = _registry_dir_versions(root)
+    active = _registry_dir_active(root)
+
+    if args.registry_command == "list":
+        if not versions:
+            print(f"no versions under {root}")
+            return 0
+        # publish every version into a scratch registry: this compiles the
+        # rules (surfacing rot early) and builds the prefilter index whose
+        # stats the summary line reports
+        registry = RulesetRegistry()
+        for version in sorted(versions):
+            marker = "*" if version == active else " "
+            ruleset = GeneratedRuleSet.load(versions[version])
+            if not ruleset.rules:
+                print(f"{marker} v{version}: (empty or unreadable)")
+                continue
+            published = registry.publish_generated(
+                ruleset, label=versions[version].name, activate=False
+            )
+            stats = published.index.stats()
+            print(
+                f"{marker} v{version}: {published.rule_count} rules, "
+                f"{stats.atoms} atoms, {stats.indexed_fraction:.0%} indexed"
+            )
+        return 0
+
+    if args.version not in versions:
+        known = ", ".join(f"v{v}" for v in sorted(versions)) or "none"
+        print(f"unknown version v{args.version} under {root} (known: {known})",
+              file=sys.stderr)
+        return 1
+
+    if args.registry_command == "activate":
+        (root / _ACTIVE_MARKER).write_text(f"{args.version}\n", encoding="utf-8")
+        print(f"activated v{args.version}")
+        return 0
+
+    if args.registry_command == "retire":
+        if args.version == active:
+            print(f"cannot retire the active version v{args.version}",
+                  file=sys.stderr)
+            return 1
+        import shutil
+
+        shutil.rmtree(versions[args.version])
+        print(f"retired v{args.version}")
+        return 0
+    return 2
+
+
 def _cmd_evaluate(args) -> int:
     dataset_config = DatasetConfig(scale=args.scale, seed=args.seed)
     if args.scale < 0.5:
@@ -348,6 +608,8 @@ def main(argv: list[str] | None = None) -> int:
     _add_scan(subparsers)
     _add_scan_batch(subparsers)
     _add_pipeline(subparsers)
+    _add_orchestrate(subparsers)
+    _add_registry(subparsers)
     _add_evaluate(subparsers)
     args = parser.parse_args(argv)
     if args.command == "generate":
@@ -358,6 +620,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_scan_batch(args)
     if args.command == "pipeline":
         return _cmd_pipeline(args)
+    if args.command == "orchestrate":
+        return _cmd_orchestrate(args)
+    if args.command == "registry":
+        return _cmd_registry(args)
     if args.command == "evaluate":
         return _cmd_evaluate(args)
     parser.error(f"unknown command {args.command!r}")

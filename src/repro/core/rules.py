@@ -153,7 +153,13 @@ class GeneratedRuleSet:
 
 
 def combine(rule_sets: Iterable[GeneratedRuleSet]) -> GeneratedRuleSet:
-    """Merge several rule sets (used when sharding generation)."""
+    """Plain concatenation of rule sets (no collision handling).
+
+    Sharded generation should NOT use this: fleet merging needs rule-name
+    collision resolution, cross-shard dedup and deterministic ordering —
+    that policy lives in :func:`repro.scanserve.registry.merge_shard_rulesets`
+    (what ``RulesetRegistry.publish_merged`` runs).
+    """
     combined = GeneratedRuleSet()
     for rule_set in rule_sets:
         combined.extend(rule_set)

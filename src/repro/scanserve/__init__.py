@@ -34,8 +34,21 @@ from repro.scanserve.atoms import (
     yara_rule_atoms,
 )
 from repro.scanserve.cache import CacheStats, DiskScanResultCache, ScanResultCache
-from repro.scanserve.index import AhoCorasick, IndexStats, RuleIndex
-from repro.scanserve.registry import RulesetRegistry, RulesetVersion
+from repro.scanserve.index import (
+    AUTOMATON_LANE,
+    AUTOMATON_THRESHOLD,
+    SUBSTRING_LANE,
+    AhoCorasick,
+    IndexStats,
+    RuleIndex,
+)
+from repro.scanserve.registry import (
+    PublishEvent,
+    RulesetRegistry,
+    RulesetVersion,
+    ShardProvenance,
+    merge_shard_rulesets,
+)
 from repro.scanserve.scheduler import (
     AUTO,
     INPROCESS,
@@ -48,6 +61,7 @@ from repro.scanserve.scheduler import (
 from repro.scanserve.telemetry import RuleCost, RuleCostSample, RuleCostTracker
 from repro.scanserve.service import (
     BatchScanResult,
+    RescanDelta,
     ScanService,
     ScanServiceConfig,
     ServiceStats,
@@ -59,11 +73,17 @@ __all__ = [
     "guaranteed_identifiers",
     "yara_rule_atoms",
     "semgrep_rule_atoms",
+    "AUTOMATON_LANE",
+    "AUTOMATON_THRESHOLD",
+    "SUBSTRING_LANE",
     "AhoCorasick",
     "IndexStats",
     "RuleIndex",
+    "PublishEvent",
     "RulesetRegistry",
     "RulesetVersion",
+    "ShardProvenance",
+    "merge_shard_rulesets",
     "CacheStats",
     "ScanResultCache",
     "DiskScanResultCache",
@@ -78,6 +98,7 @@ __all__ = [
     "ShardStats",
     "shard_items",
     "BatchScanResult",
+    "RescanDelta",
     "ScanService",
     "ScanServiceConfig",
     "ServiceStats",

@@ -176,7 +176,9 @@ class DiskScanResultCache:
                     pass
                 continue
             found.append((mtime, key, path))
-        for _, key, path in sorted(found, key=lambda item: item[0]):
+        # mtime gives recency; file name breaks ties so a rebuilt index is
+        # deterministic even on filesystems with coarse timestamp granularity
+        for _, key, path in sorted(found, key=lambda item: (item[0], item[2].name)):
             self._entries[key] = path
         while len(self._entries) > self.max_entries:
             _, path = self._entries.popitem(last=False)

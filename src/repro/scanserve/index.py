@@ -35,14 +35,25 @@ from repro.yarax.compiler import CompiledRule, CompiledRuleSet
 from repro.yarax.matcher import CompiledString, ConditionEvaluator, RuleMatch
 
 # below this many atoms, per-atom ``str.find`` (C speed) beats the
-# pure-Python automaton walk; above it the O(n) automaton wins
+# pure-Python automaton walk; above it the O(n) automaton wins.  The
+# crossover is hardware-dependent, so it is a tunable: see
+# ``ScanServiceConfig.automaton_threshold`` / ``RuleIndex``.
 AUTOMATON_THRESHOLD = 512
+
+#: Lane names reported by :attr:`AhoCorasick.lane` / :meth:`RuleIndex.stats`.
+AUTOMATON_LANE = "automaton"
+SUBSTRING_LANE = "substring"
 
 
 class AhoCorasick:
     """Multi-pattern literal matcher (goto/fail automaton)."""
 
-    def __init__(self, words: Iterable[str]) -> None:
+    def __init__(
+        self, words: Iterable[str], automaton_threshold: Optional[int] = None
+    ) -> None:
+        self.automaton_threshold = (
+            AUTOMATON_THRESHOLD if automaton_threshold is None else automaton_threshold
+        )
         self.words: list[str] = []
         seen: dict[str, int] = {}
         for word in words:
@@ -114,8 +125,15 @@ class AhoCorasick:
         """Per-atom C-speed substring scan; same result as the automaton."""
         return {i for i, word in enumerate(self.words) if word in text}
 
+    @property
+    def lane(self) -> str:
+        """Which scan strategy :meth:`find` uses for this vocabulary size."""
+        if len(self.words) >= self.automaton_threshold:
+            return AUTOMATON_LANE
+        return SUBSTRING_LANE
+
     def find(self, text: str) -> set[int]:
-        if len(self.words) >= AUTOMATON_THRESHOLD:
+        if self.lane == AUTOMATON_LANE:
             return self.find_automaton(text)
         return self.find_substring(text)
 
@@ -210,6 +228,8 @@ class IndexStats:
     semgrep_indexed: int = 0
     atoms: int = 0
     automaton_states: int = 0
+    lane: str = SUBSTRING_LANE
+    automaton_threshold: int = AUTOMATON_THRESHOLD
 
     @property
     def indexed_fraction(self) -> float:
@@ -233,10 +253,12 @@ class RuleIndex:
         yara: Optional[CompiledRuleSet] = None,
         semgrep: Optional[CompiledSemgrepRuleSet] = None,
         min_atom_length: int = DEFAULT_MIN_ATOM_LENGTH,
+        automaton_threshold: Optional[int] = None,
     ) -> None:
         self.yara = yara
         self.semgrep = semgrep
         self.min_atom_length = min_atom_length
+        self.automaton_threshold = automaton_threshold
         self.rule_atoms: list[RuleAtoms] = []
 
         vocabulary: dict[str, int] = {}
@@ -283,7 +305,9 @@ class RuleIndex:
             register(atoms, "semgrep", position)
             self._semgrep_required.append(atoms.required_sets)
 
-        self._automaton = AhoCorasick(vocabulary.keys())
+        self._automaton = AhoCorasick(
+            vocabulary.keys(), automaton_threshold=automaton_threshold
+        )
         self._postings = postings
         self._fallback_semgrep_set = frozenset(self._fallback_semgrep)
         # literal -> automaton word id, for gate checks: a gate literal that
@@ -440,6 +464,11 @@ class RuleIndex:
         return findings
 
     # -- introspection ------------------------------------------------------------
+    @property
+    def lane(self) -> str:
+        """Which atom-scan lane this index uses (fixed per vocabulary)."""
+        return self._automaton.lane
+
     def stats(self) -> IndexStats:
         yara_total = len(self.yara.rules) if self.yara is not None else 0
         semgrep_total = len(self.semgrep.rules) if self.semgrep is not None else 0
@@ -450,6 +479,8 @@ class RuleIndex:
             semgrep_indexed=semgrep_total - len(self._fallback_semgrep),
             atoms=len(self._automaton),
             automaton_states=self._automaton.state_count,
+            lane=self._automaton.lane,
+            automaton_threshold=self._automaton.automaton_threshold,
         )
 
     def fallback_reasons(self) -> dict[str, str]:

@@ -1,4 +1,5 @@
-"""Versioned ruleset registry with atomic hot-swap.
+"""Versioned ruleset registry with atomic hot-swap, merge/stack publishes
+and a publish event bus.
 
 A long-running scanning service must pick up newly generated rule sets
 without dropping traffic: the pipeline publishes a new
@@ -7,6 +8,25 @@ swaps the *current* pointer atomically under a lock.  In-flight scans keep
 the version they resolved at entry; result caches key on the version number
 so stale entries can never serve a new ruleset's traffic.  Old versions stay
 addressable for rollback.
+
+Sharded generation adds two first-class publish semantics on top of the
+plain one:
+
+* :meth:`RulesetRegistry.publish_merged` — union the outputs of several
+  generation shards into **one** version, resolving rule-name collisions
+  deterministically and recording per-shard :class:`ShardProvenance`;
+* :meth:`RulesetRegistry.publish_stacked` — publish the shards as a chain
+  of **cumulative layers** (layer *k* serves the union of the first *k*
+  shards), each carrying a ``parent`` pointer to the layer below and a
+  shared ``stack_id``, so activating a layer's parent peels the newest
+  shard's contribution back off.
+
+Anything interested in version changes subscribes to the registry's event
+bus (:meth:`RulesetRegistry.subscribe`): every publish and every explicit
+activation emits a typed :class:`PublishEvent` *after* the swap, outside the
+registry lock, so subscribers (e.g. a :class:`~repro.scanserve.service.
+ScanService` re-scanning its recency window) may freely call back into the
+registry.
 """
 
 from __future__ import annotations
@@ -14,14 +34,40 @@ from __future__ import annotations
 import threading
 import time
 import uuid
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass, field, replace
+from typing import Callable, Optional, Sequence, Tuple
 
 from repro.scanserve.atoms import DEFAULT_MIN_ATOM_LENGTH
 from repro.scanserve.index import RuleIndex
 from repro.semgrepx.compiler import CompiledSemgrepRuleSet
 from repro.utils.hashing import stable_digest
 from repro.yarax.compiler import CompiledRuleSet
+
+#: Event kinds carried by :class:`PublishEvent`.
+PUBLISH = "publish"
+MERGED = "merged"
+STACKED = "stacked"
+ACTIVATE = "activate"
+
+
+@dataclass
+class ShardProvenance:
+    """What one generation shard contributed to a merged/stacked version."""
+
+    shard: str
+    rules: list[str] = field(default_factory=list)  # rule names after merge
+    rejected: int = 0
+    renamed: list[str] = field(default_factory=list)  # post-collision names
+    deduplicated: int = 0  # identical rules already contributed by an earlier shard
+
+    def describe(self) -> str:
+        extras = []
+        if self.renamed:
+            extras.append(f"{len(self.renamed)} renamed")
+        if self.deduplicated:
+            extras.append(f"{self.deduplicated} deduped")
+        suffix = f" ({', '.join(extras)})" if extras else ""
+        return f"{self.shard}: {len(self.rules)} rules{suffix}"
 
 
 @dataclass
@@ -34,6 +80,10 @@ class RulesetVersion:
     restarts (where the version counter starts over at 1).  When no content
     digest is available the key is unique per publish — correct, just never
     shared across processes.
+
+    ``parent`` / ``stack_id`` are set on stacked layers (see
+    :meth:`RulesetRegistry.publish_stacked`); ``provenance`` records the
+    per-shard contributions of a merged or stacked publish.
     """
 
     version: int
@@ -43,6 +93,9 @@ class RulesetVersion:
     label: str = ""
     cache_key: str = ""
     created_at: float = field(default_factory=time.time)
+    parent: Optional[int] = None
+    stack_id: str = ""
+    provenance: list[ShardProvenance] = field(default_factory=list)
 
     @property
     def rule_count(self) -> int:
@@ -53,21 +106,175 @@ class RulesetVersion:
     def describe(self) -> str:
         stats = self.index.stats()
         label = f" ({self.label})" if self.label else ""
+        lineage = f" <- v{self.parent}" if self.parent is not None else ""
+        shards = f", {len(self.provenance)} shards" if self.provenance else ""
         return (
-            f"v{self.version}{label}: {self.rule_count} rules, "
-            f"{stats.atoms} atoms, {stats.indexed_fraction:.0%} indexed"
+            f"v{self.version}{label}{lineage}: {self.rule_count} rules, "
+            f"{stats.atoms} atoms, {stats.indexed_fraction:.0%} indexed{shards}"
         )
+
+
+@dataclass
+class PublishEvent:
+    """One registry state change, delivered to every subscriber.
+
+    ``kind`` is one of ``publish`` / ``merged`` / ``stacked`` /
+    ``activate``; ``activated`` tells whether the *live* version changed
+    (subscribers that only care about serving traffic — live re-scan — can
+    ignore everything else).  ``previous_version`` is what was live before.
+    """
+
+    version: RulesetVersion
+    kind: str = PUBLISH
+    activated: bool = True
+    previous_version: Optional[int] = None
+
+
+#: Subscriber callback signature.
+PublishListener = Callable[[PublishEvent], None]
+
+
+def merge_shard_rulesets(
+    shards: Sequence[Tuple[str, object]],
+) -> Tuple[object, list[ShardProvenance]]:
+    """Union several generated rule sets into one, deterministically.
+
+    ``shards`` is a sequence of ``(shard label, rule set)`` pairs, where a
+    rule set duck-types :class:`repro.core.rules.GeneratedRuleSet` (``rules``
+    / ``rejected`` lists of dataclass rules with ``format`` / ``name`` /
+    ``text`` / ``cluster_id`` / ``origin`` fields).  Collision policy:
+
+    * identical ``(format, name, text, cluster id)`` across shards — a true
+      duplicate (two shards did the same work, e.g. round-robin shards that
+      re-clustered overlapping content): deduplicated, the first shard keeps
+      it and the later shard records a dedup;
+    * same ``(format, name)`` but **different text** — the later rule is
+      renamed ``<name>__<shard label>`` (both its ``name`` and the
+      identifier inside its rule text), so no contribution is silently
+      dropped;
+    * same name *and* text but different cluster ids — kept as-is: a single
+      session keeps such pairs too (its compilers de-duplicate names
+      positionally), and dropping one would break single-session parity.
+
+    The merged rules are ordered by ``(cluster id, format, origin, name)`` —
+    exactly the order a single session emits (its refine stage sorts groups
+    by ``(cluster, format, origin)``), so merging cluster-sharded outputs
+    reproduces the single-session rule set bit for bit.
+    """
+    # deferred import: scanserve stays import-independent of the pipeline
+    # layer at module level; merging inherently produces a pipeline container
+    from repro.core.rules import GeneratedRuleSet
+
+    merged = GeneratedRuleSet()
+    provenance: list[ShardProvenance] = []
+    texts_by_name: dict[tuple[str, str], set[str]] = {}  # (format, name) -> texts
+    seen_exact: set[tuple] = set()  # (format, name, text, cluster id)
+    collected: list[tuple[tuple, object]] = []
+
+    for shard_label, rule_set in shards:
+        record = ShardProvenance(shard=str(shard_label))
+        record.rejected = len(getattr(rule_set, "rejected", []))
+        if not merged.model:
+            merged.model = getattr(rule_set, "model", "")
+        for rule in rule_set.rules:
+            exact = (rule.format, rule.name, rule.text, rule.cluster_id)
+            if exact in seen_exact:
+                record.deduplicated += 1
+                continue
+            known_texts = texts_by_name.get((rule.format, rule.name))
+            if known_texts is not None and rule.text not in known_texts:
+                suffix = str(shard_label)
+                renamed = _renamed_rule(rule, suffix)
+                attempt = 2
+                while renamed.text not in texts_by_name.get(
+                    (renamed.format, renamed.name), {renamed.text}
+                ):
+                    renamed = _renamed_rule(rule, f"{suffix}_{attempt}")
+                    attempt += 1
+                record.renamed.append(renamed.name)
+                rule = renamed
+                exact = (rule.format, rule.name, rule.text, rule.cluster_id)
+            seen_exact.add(exact)
+            texts_by_name.setdefault((rule.format, rule.name), set()).add(rule.text)
+            record.rules.append(rule.name)
+            cluster = rule.cluster_id if rule.cluster_id is not None else 1 << 30
+            sort_key = (cluster, rule.format, rule.origin, rule.name)
+            collected.append((sort_key, rule))
+        provenance.append(record)
+
+    for _, rule in sorted(collected, key=lambda item: item[0]):
+        merged.add(rule)
+    for _, rule_set in shards:
+        merged.rejected.extend(getattr(rule_set, "rejected", []))
+    return merged, provenance
+
+
+def _renamed_rule(rule, shard_label: str):
+    """A copy of ``rule`` renamed to avoid a cross-shard name collision.
+
+    The identifier inside the rule text is rewritten too, so the compiled
+    rule reports the resolved name.
+    """
+    safe = "".join(c if c.isalnum() else "_" for c in str(shard_label)) or "shard"
+    new_name = f"{rule.name}__{safe}"
+    text = rule.text
+    if rule.format == "yara":
+        text = text.replace(f"rule {rule.name}", f"rule {new_name}", 1)
+    else:
+        for marker in (f"- id: {rule.name}", f"id: {rule.name}"):
+            if marker in text:
+                text = text.replace(marker, marker.replace(rule.name, new_name), 1)
+                break
+    return replace(rule, name=new_name, text=text)
 
 
 class RulesetRegistry:
     """Thread-safe registry of published ruleset versions."""
 
-    def __init__(self, min_atom_length: int = DEFAULT_MIN_ATOM_LENGTH) -> None:
+    def __init__(
+        self,
+        min_atom_length: int = DEFAULT_MIN_ATOM_LENGTH,
+        automaton_threshold: Optional[int] = None,
+    ) -> None:
         self.min_atom_length = min_atom_length
+        self.automaton_threshold = automaton_threshold
         self._lock = threading.Lock()
         self._versions: dict[int, RulesetVersion] = {}
         self._current: Optional[int] = None
         self._next_version = 1
+        self._subscribers: dict[int, PublishListener] = {}
+        self._next_subscriber = 1
+        self.subscriber_errors: list[str] = []  # bounded; diagnostics only
+
+    # -- event bus ----------------------------------------------------------------
+    def subscribe(self, on_publish: PublishListener) -> int:
+        """Register a listener for every publish/activate; returns a token.
+
+        Listeners run synchronously in the publishing thread, *after* the
+        version swap and outside the registry lock (re-entering the registry
+        from a listener is safe).  A listener that raises is recorded in
+        ``subscriber_errors`` and does not affect the publish or the other
+        listeners.
+        """
+        with self._lock:
+            token = self._next_subscriber
+            self._next_subscriber += 1
+            self._subscribers[token] = on_publish
+            return token
+
+    def unsubscribe(self, token: int) -> bool:
+        with self._lock:
+            return self._subscribers.pop(token, None) is not None
+
+    def _notify(self, event: PublishEvent) -> None:
+        with self._lock:
+            listeners = list(self._subscribers.values())
+        for listener in listeners:
+            try:
+                listener(event)
+            except Exception as exc:  # a broken subscriber must not kill publishes
+                self.subscriber_errors.append(f"{type(exc).__name__}: {exc}")
+                del self.subscriber_errors[:-20]
 
     # -- publishing ---------------------------------------------------------------
     def publish(
@@ -85,11 +292,34 @@ class RulesetRegistry:
         caches recognise the same ruleset across processes; without one the
         version gets a unique key and its cached results die with it.
         """
+        return self._publish(
+            yara=yara, semgrep=semgrep, label=label, activate=activate,
+            content_digest=content_digest, kind=PUBLISH,
+        )
+
+    def _publish(
+        self,
+        yara: Optional[CompiledRuleSet],
+        semgrep: Optional[CompiledSemgrepRuleSet],
+        label: str,
+        activate: bool,
+        content_digest: str,
+        kind: str,
+        parent: Optional[int] = None,
+        stack_id: str = "",
+        provenance: Optional[list[ShardProvenance]] = None,
+    ) -> RulesetVersion:
         if yara is None and semgrep is None:
             raise ValueError("publish needs at least one rule set")
-        index = RuleIndex(yara=yara, semgrep=semgrep, min_atom_length=self.min_atom_length)
+        index = RuleIndex(
+            yara=yara,
+            semgrep=semgrep,
+            min_atom_length=self.min_atom_length,
+            automaton_threshold=self.automaton_threshold,
+        )
         cache_key = content_digest or f"unshared-{uuid.uuid4().hex}"
         with self._lock:
+            previous = self._current
             version = RulesetVersion(
                 version=self._next_version,
                 yara=yara,
@@ -97,11 +327,20 @@ class RulesetRegistry:
                 index=index,
                 label=label,
                 cache_key=cache_key,
+                parent=parent,
+                stack_id=stack_id,
+                provenance=list(provenance or []),
             )
             self._next_version += 1
             self._versions[version.version] = version
             if activate:
                 self._current = version.version
+        self._notify(
+            PublishEvent(
+                version=version, kind=kind, activated=activate,
+                previous_version=previous,
+            )
+        )
         return version
 
     def publish_generated(self, ruleset, label: str = "", activate: bool = True) -> RulesetVersion:
@@ -111,6 +350,20 @@ class RulesetRegistry:
         layer: any object with ``yara_rules`` / ``semgrep_rules`` lists and
         ``compile_yara()`` / ``compile_semgrep()`` works.
         """
+        return self._publish_ruleset(
+            ruleset, label=label, activate=activate, kind=PUBLISH
+        )
+
+    def _publish_ruleset(
+        self,
+        ruleset,
+        label: str,
+        activate: bool,
+        kind: str,
+        parent: Optional[int] = None,
+        stack_id: str = "",
+        provenance: Optional[list[ShardProvenance]] = None,
+    ) -> RulesetVersion:
         yara = ruleset.compile_yara() if ruleset.yara_rules else None
         semgrep = ruleset.compile_semgrep() if ruleset.semgrep_rules else None
         digest = stable_digest(
@@ -121,10 +374,103 @@ class RulesetRegistry:
                 )
             )
         )
-        return self.publish(
+        return self._publish(
             yara=yara, semgrep=semgrep, label=label, activate=activate,
-            content_digest=digest,
+            content_digest=digest, kind=kind, parent=parent, stack_id=stack_id,
+            provenance=provenance,
         )
+
+    def publish_merged(
+        self,
+        shards: Sequence[Tuple[str, object]],
+        label: str = "",
+        activate: bool = True,
+    ) -> RulesetVersion:
+        """Union several shards' rule sets into **one** published version.
+
+        ``shards`` is ``[(shard label, generated rule set), ...]`` — see
+        :func:`merge_shard_rulesets` for the collision/ordering policy.  The
+        published version carries a :class:`ShardProvenance` entry per shard
+        and emits a ``merged`` :class:`PublishEvent`.
+        """
+        if not shards:
+            raise ValueError("publish_merged needs at least one shard")
+        merged, provenance = merge_shard_rulesets(shards)
+        return self.publish_merged_set(
+            merged, provenance, label=label, activate=activate
+        )
+
+    def publish_merged_set(
+        self,
+        merged,
+        provenance: Sequence[ShardProvenance],
+        label: str = "",
+        activate: bool = True,
+    ) -> RulesetVersion:
+        """Publish an **already-merged** fleet rule set.
+
+        The lower-level half of :meth:`publish_merged`: callers that also
+        need the merged container itself (e.g. the orchestrator, which
+        returns it on the :class:`FleetResult`) run
+        :func:`merge_shard_rulesets` once and hand both halves here instead
+        of paying for the merge twice.
+        """
+        if not merged.rules:
+            raise ValueError("no shard contributed any rules")
+        return self._publish_ruleset(
+            merged, label=label, activate=activate, kind=MERGED,
+            provenance=list(provenance),
+        )
+
+    def publish_stacked(
+        self,
+        shards: Sequence[Tuple[str, object]],
+        label: str = "",
+        activate: bool = True,
+        parent: Optional[int] = None,
+    ) -> list[RulesetVersion]:
+        """Publish the shards as a chain of cumulative layer versions.
+
+        Layer *k* contains the merged union of shards ``0..k`` — the top
+        layer serves everything, and each layer's ``parent`` points at the
+        layer below (the first layer's at ``parent``, e.g. the version the
+        stack grew from).  All layers share a ``stack_id``.  Only the top
+        layer is activated (when ``activate``), so rolling back one shard's
+        contribution is ``registry.activate(version.parent)``.
+        """
+        if not shards:
+            raise ValueError("publish_stacked needs at least one shard")
+        stack_id = f"stack-{uuid.uuid4().hex[:12]}"
+        layers: list[RulesetVersion] = []
+        previous = parent
+        for depth in range(len(shards)):
+            cumulative, provenance = merge_shard_rulesets(shards[: depth + 1])
+            if not cumulative.rules:
+                continue
+            top = depth == len(shards) - 1
+            shard_label = shards[depth][0]
+            layer = self._publish_ruleset(
+                cumulative,
+                label=f"{label}+{shard_label}" if label else str(shard_label),
+                activate=activate and top,
+                kind=STACKED,
+                parent=previous,
+                stack_id=stack_id,
+                provenance=provenance,
+            )
+            layers.append(layer)
+            previous = layer.version
+        if not layers:
+            raise ValueError("no shard contributed any rules")
+        return layers
+
+    def stack_layers(self, stack_id: str) -> list[RulesetVersion]:
+        """All versions of one stacked publish, bottom layer first."""
+        with self._lock:
+            layers = [
+                v for v in self._versions.values() if v.stack_id == stack_id
+            ]
+        return sorted(layers, key=lambda v: v.version)
 
     # -- resolution ---------------------------------------------------------------
     def current(self) -> RulesetVersion:
@@ -142,12 +488,22 @@ class RulesetRegistry:
 
     def activate(self, version: int) -> RulesetVersion:
         """Atomically point the service at an already-published version
-        (rollback or staged rollout)."""
+        (rollback or staged rollout).  Emits an ``activate`` event when the
+        live version actually changes."""
         with self._lock:
             if version not in self._versions:
                 raise LookupError(f"unknown ruleset version {version}")
+            previous = self._current
             self._current = version
-            return self._versions[version]
+            target = self._versions[version]
+        if previous != version:
+            self._notify(
+                PublishEvent(
+                    version=target, kind=ACTIVATE, activated=True,
+                    previous_version=previous,
+                )
+            )
+        return target
 
     def retire(self, version: int) -> None:
         """Drop a non-current version (frees its index)."""

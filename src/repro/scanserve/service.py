@@ -7,14 +7,26 @@ current ruleset version once, serves repeat artefacts from the result cache,
 shards the rest across a worker pool, and reports per-shard throughput plus
 a :class:`repro.evaluation.detector.DetectionResult` that is bit-for-bit
 identical to a naive :class:`~repro.evaluation.detector.RuleScanner` pass.
+
+The service also keeps a bounded **recency ring** of the package
+fingerprints it scanned most recently.  Subscribed to its registry's event
+bus (``ScanServiceConfig(live_rescan=True)`` or
+:meth:`ScanService.enable_live_rescan`), it automatically re-scans that
+window whenever a new ruleset version goes live and reports the
+:class:`RescanDelta` — which packages are newly flagged, which changed
+matched rules, which came up clean — cheap, because the result cache is
+``(fingerprint, version)``-keyed and the old verdicts are already in the
+ring.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Optional, Sequence, Union
+from typing import Callable, Optional, Sequence, Union
 
 from repro.corpus.package import Package
 from repro.evaluation.detector import (
@@ -25,7 +37,11 @@ from repro.evaluation.detector import (
     ScanTimings,
 )
 from repro.scanserve.cache import DiskScanResultCache, ScanResultCache
-from repro.scanserve.registry import RulesetRegistry, RulesetVersion
+from repro.scanserve.registry import (
+    PublishEvent,
+    RulesetRegistry,
+    RulesetVersion,
+)
 from repro.scanserve.scheduler import AUTO, ScanScheduler, SchedulerReport, ShardStats
 from repro.scanserve.telemetry import RuleCost, RuleCostSample, RuleCostTracker
 
@@ -89,6 +105,11 @@ class ScanServiceConfig:
     min_atom_length: int = 3
     use_index: bool = True  # False = naive per-rule scanning (for comparison)
     track_rule_costs: bool = True  # per-rule timing telemetry (top_slow_rules)
+    automaton_threshold: Optional[int] = None  # atom count where the index
+    # switches from per-atom substring scans to the Aho–Corasick automaton
+    # (None = the engine default); applies to registries this service creates
+    recency_window: int = 256  # fingerprints remembered for live re-scan (0 = off)
+    live_rescan: bool = False  # subscribe to the registry and re-scan on publish
 
 
 @dataclass
@@ -164,10 +185,68 @@ class ServiceStats:
     packages_scanned: int = 0
     cache_hits: int = 0
     seconds: float = 0.0
+    rescans: int = 0
+    # how each batch was served: prefilter lane ("automaton" | "substring"),
+    # "naive" (index disabled), or "cache" (every package was a cache hit)
+    lanes: dict[str, int] = field(default_factory=dict)
 
     @property
     def packages_per_second(self) -> float:
         return self.packages_scanned / self.seconds if self.seconds > 0 else 0.0
+
+
+@dataclass
+class RescanDelta:
+    """What changed when the recency window was re-scanned against a new
+    ruleset version."""
+
+    to_version: int
+    from_version: Optional[int] = None  # None when the window spans versions
+    scanned: int = 0
+    new: list[str] = field(default_factory=list)  # newly flagged packages
+    cleared: list[str] = field(default_factory=list)  # flagged -> clean
+    changed: list[str] = field(default_factory=list)  # flagged, different rules
+    elapsed_seconds: float = 0.0
+    cache_hits: int = 0
+
+    @property
+    def unchanged(self) -> int:
+        return self.scanned - len(self.new) - len(self.cleared) - len(self.changed)
+
+    @property
+    def has_changes(self) -> bool:
+        return bool(self.new or self.cleared or self.changed)
+
+    def describe(self) -> str:
+        origin = f"v{self.from_version}" if self.from_version is not None else "mixed"
+        return (
+            f"re-scan {origin} -> v{self.to_version}: {self.scanned} packages, "
+            f"{len(self.new)} new, {len(self.changed)} changed, "
+            f"{len(self.cleared)} cleared, {self.unchanged} unchanged "
+            f"({self.elapsed_seconds:.3f}s)"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "from_version": self.from_version,
+            "to_version": self.to_version,
+            "scanned": self.scanned,
+            "new": list(self.new),
+            "changed": list(self.changed),
+            "cleared": list(self.cleared),
+            "unchanged": self.unchanged,
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+            "cache_hits": self.cache_hits,
+        }
+
+
+@dataclass
+class _RecentScan:
+    """One recency-ring entry: enough to re-scan and to diff the verdicts."""
+
+    prepared: PreparedPackage
+    detection: PackageDetection
+    version: int
 
 
 class ScanService:
@@ -180,7 +259,8 @@ class ScanService:
     ) -> None:
         self.config = config or ScanServiceConfig()
         self.registry = registry or RulesetRegistry(
-            min_atom_length=self.config.min_atom_length
+            min_atom_length=self.config.min_atom_length,
+            automaton_threshold=self.config.automaton_threshold,
         )
         if self.config.cache_dir:
             self.cache: Union[ScanResultCache, DiskScanResultCache] = (
@@ -190,6 +270,15 @@ class ScanService:
             self.cache = ScanResultCache(self.config.cache_entries)
         self.stats = ServiceStats()
         self.rule_costs = RuleCostTracker()
+        # recency ring: fingerprint -> last scan, oldest first
+        self._recent: "OrderedDict[str, _RecentScan]" = OrderedDict()
+        self._recent_lock = threading.Lock()
+        self._rescan_lock = threading.Lock()
+        self._subscription: Optional[int] = None
+        self._on_delta: Optional[Callable[[RescanDelta], None]] = None
+        self.rescans: list[RescanDelta] = []
+        if self.config.live_rescan:
+            self.enable_live_rescan()  # raises when the cache is disabled
 
     # -- publishing (delegates to the registry) ------------------------------------
     def publish(self, yara=None, semgrep=None, label: str = "") -> RulesetVersion:
@@ -213,8 +302,18 @@ class ScanService:
         return self.scan_batch([package]).result.detections[0]
 
     def scan_batch(
-        self, packages: Sequence[Package], version: Optional[int] = None
+        self,
+        packages: Sequence[Union[Package, PreparedPackage]],
+        version: Optional[int] = None,
+        record_recency: bool = True,
     ) -> BatchScanResult:
+        """Scan a batch against the current (or a pinned) ruleset version.
+
+        ``packages`` may mix raw :class:`Package` objects and already-built
+        :class:`PreparedPackage` wrappers (the live re-scan path reuses the
+        prepared inputs from the recency ring).  ``record_recency=False``
+        keeps the batch out of the recency ring (used by the re-scan itself).
+        """
         ruleset = (
             self.registry.current() if version is None else self.registry.get(version)
         )
@@ -227,13 +326,25 @@ class ScanService:
         # metadata JSON is not recomputed by the workers.
         to_scan: list[tuple[int, Union[Package, PreparedPackage]]] = []
         fingerprints: dict[int, str] = {}
+        prepared_by_position: dict[int, PreparedPackage] = {}
         cache_hits = 0
         if self.config.enable_cache:
             for position, package in enumerate(packages):
-                prepared = PreparedPackage(
-                    package, self.config.include_metadata_in_text
-                )
+                if isinstance(package, PreparedPackage):
+                    prepared = package
+                    if (
+                        prepared.include_metadata_in_text
+                        != self.config.include_metadata_in_text
+                    ):
+                        prepared = PreparedPackage(
+                            prepared.package, self.config.include_metadata_in_text
+                        )
+                else:
+                    prepared = PreparedPackage(
+                        package, self.config.include_metadata_in_text
+                    )
                 fingerprints[position] = prepared.fingerprint
+                prepared_by_position[position] = prepared
                 cached = self.cache.get(prepared.fingerprint, ruleset.cache_key)
                 if cached is not None:
                     ordered[position] = cached
@@ -303,4 +414,135 @@ class ScanService:
         self.stats.packages_scanned += len(packages)
         self.stats.cache_hits += cache_hits
         self.stats.seconds += elapsed
+        if to_scan:
+            lane = ruleset.index.lane if self.config.use_index else "naive"
+        else:
+            lane = "cache"  # fully cache-served: the index never ran
+        self.stats.lanes[lane] = self.stats.lanes.get(lane, 0) + 1
+        if record_recency and self.config.recency_window > 0 and fingerprints:
+            self._remember(ruleset.version, fingerprints, prepared_by_position, ordered)
         return batch
+
+    # -- live re-scan --------------------------------------------------------------
+    def _remember(
+        self,
+        version: int,
+        fingerprints: dict[int, str],
+        prepared_by_position: dict[int, PreparedPackage],
+        detections: Sequence[Optional[PackageDetection]],
+    ) -> None:
+        """Fold a batch into the recency ring (most recent last, bounded)."""
+        with self._recent_lock:
+            for position, fingerprint in fingerprints.items():
+                detection = detections[position]
+                assert detection is not None
+                self._recent[fingerprint] = _RecentScan(
+                    prepared=prepared_by_position[position],
+                    detection=detection,
+                    version=version,
+                )
+                self._recent.move_to_end(fingerprint)
+            while len(self._recent) > self.config.recency_window:
+                self._recent.popitem(last=False)
+
+    @property
+    def recency_window(self) -> list[str]:
+        """Fingerprints currently in the ring, oldest first."""
+        with self._recent_lock:
+            return list(self._recent)
+
+    def enable_live_rescan(
+        self, on_delta: Optional[Callable[[RescanDelta], None]] = None
+    ) -> "ScanService":
+        """Subscribe to the registry: whenever a new version goes live,
+        re-scan the recency window and record a :class:`RescanDelta`
+        (``service.rescans`` keeps them; ``on_delta`` fires per re-scan).
+
+        The recency ring is fed by the fingerprints the result cache
+        computes, so live re-scan requires ``enable_cache`` and a
+        ``recency_window > 0`` — rejected loudly here rather than silently
+        never re-scanning.
+        """
+        if not self.config.enable_cache:
+            raise ValueError(
+                "live re-scan needs the result cache (fingerprints feed the "
+                "recency ring); enable_cache=False cannot re-scan"
+            )
+        if self.config.recency_window < 1:
+            raise ValueError("live re-scan needs recency_window > 0")
+        self._on_delta = on_delta or self._on_delta
+        if self._subscription is None:
+            self._subscription = self.registry.subscribe(self._on_registry_event)
+        return self
+
+    def disable_live_rescan(self) -> None:
+        if self._subscription is not None:
+            self.registry.unsubscribe(self._subscription)
+            self._subscription = None
+
+    @property
+    def last_rescan(self) -> Optional[RescanDelta]:
+        return self.rescans[-1] if self.rescans else None
+
+    def _on_registry_event(self, event: PublishEvent) -> None:
+        if not event.activated:
+            return  # a staged (inactive) publish serves no traffic yet
+        self.rescan_recent(event.version.version)
+
+    def rescan_recent(self, version: Optional[int] = None) -> Optional[RescanDelta]:
+        """Re-scan the recency window against ``version`` (default: current)
+        and diff the verdicts; returns ``None`` when the ring is empty or
+        already at that version."""
+        with self._rescan_lock:
+            with self._recent_lock:
+                entries = list(self._recent.items())
+            target = (
+                self.registry.current().version if version is None else version
+            )
+            entries = [
+                (fingerprint, entry)
+                for fingerprint, entry in entries
+                if entry.version != target
+            ]
+            if not entries:
+                return None
+            started = time.perf_counter()
+            batch = self.scan_batch(
+                [entry.prepared for _, entry in entries],
+                version=target,
+                record_recency=False,
+            )
+            from_versions = {entry.version for _, entry in entries}
+            delta = RescanDelta(
+                to_version=target,
+                from_version=from_versions.pop() if len(from_versions) == 1 else None,
+                scanned=len(entries),
+                cache_hits=batch.cache_hits,
+            )
+            threshold = self.config.match_threshold
+            with self._recent_lock:
+                for (fingerprint, entry), detection in zip(
+                    entries, batch.detections
+                ):
+                    was = entry.detection.predicted(threshold)
+                    now = detection.predicted(threshold)
+                    name = detection.package
+                    if now and not was:
+                        delta.new.append(name)
+                    elif was and not now:
+                        delta.cleared.append(name)
+                    elif (
+                        now
+                        and entry.detection.matched_rules != detection.matched_rules
+                    ):
+                        delta.changed.append(name)
+                    live = self._recent.get(fingerprint)
+                    if live is not None and live.version != target:
+                        live.detection = detection
+                        live.version = target
+            delta.elapsed_seconds = time.perf_counter() - started
+            self.rescans.append(delta)
+            self.stats.rescans += 1
+        if self._on_delta is not None:
+            self._on_delta(delta)
+        return delta

@@ -97,7 +97,9 @@ class RuleCostTracker:
 
         ``by='max'`` ranks by worst single evaluation (pathological-regex
         hunting); ``by='total'`` ranks by cumulative cost (capacity
-        planning); ``by='mean'`` by average evaluation cost.
+        planning); ``by='mean'`` by average evaluation cost.  Cost ties are
+        broken by ``(engine, rule name)`` so telemetry output is reproducible
+        across runs.
         """
         keys = {
             "max": lambda c: c.max_seconds,
@@ -106,8 +108,12 @@ class RuleCostTracker:
         }
         if by not in keys:
             raise ValueError(f"by must be one of {sorted(keys)}, got {by!r}")
+        cost_of = keys[by]
         with self._lock:
-            ranked = sorted(self._costs.values(), key=keys[by], reverse=True)
+            ranked = sorted(
+                self._costs.values(),
+                key=lambda c: (-cost_of(c), c.engine, c.rule_key),
+            )
             return [
                 RuleCost(
                     rule_key=c.rule_key,

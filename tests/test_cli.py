@@ -156,3 +156,83 @@ class TestPipelineCli:
         assert exit_code == 0
         assert "published v1" in output
         assert "detection: precision" in output
+
+
+class TestOrchestrateCli:
+    def test_orchestrate_fleet_with_live_rescan(self, tmp_path, capsys):
+        """2-shard merge publish + live re-scan (the CI smoke flow)."""
+        report_path = tmp_path / "orchestrator.json"
+        registry_dir = tmp_path / "registry"
+        exit_code = cli_main(
+            [
+                "orchestrate",
+                "--scale", "0.01",
+                "--shards", "2",
+                "--max-workers", "1",
+                "--json", str(report_path),
+                "--registry-dir", str(registry_dir),
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        # baseline published and pre-scanned to prime the re-scan window ...
+        assert "baseline:" in output
+        assert "re-scan window primed" in output
+        # ... the fleet published a merged v2 with per-shard provenance ...
+        assert "fleet[cluster]" in output
+        assert "shard clusters-0" in output
+        # ... which triggered the subscribed service's live re-scan
+        assert "re-scan v1 -> v2" in output
+        report = json.loads(report_path.read_text(encoding="utf-8"))
+        assert report["fleet"]["version"] == 2
+        assert report["fleet"]["publish"] == "merged"
+        assert len(report["fleet"]["shards"]) == 2
+        assert report["rescan"]["to_version"] == 2
+        assert report["rescan"]["scanned"] > 0
+        assert (registry_dir / "v1").is_dir()
+        assert (registry_dir / "ACTIVE").read_text(encoding="utf-8").strip() == "1"
+
+    def test_orchestrate_empty_directory_fails(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert cli_main(["orchestrate", "--packages", str(empty)]) == 1
+
+
+class TestRegistryCli:
+    @pytest.fixture()
+    def registry_dir(self, malware_dir, tmp_path):
+        root = tmp_path / "registry"
+        for _ in range(2):  # two orchestrated publishes -> v1 and v2
+            assert cli_main(
+                [
+                    "orchestrate",
+                    "--packages", str(malware_dir),
+                    "--shards", "2",
+                    "--max-workers", "1",
+                    "--baseline", "0",
+                    "--registry-dir", str(root),
+                ]
+            ) == 0
+        return root
+
+    def test_list_activate_retire_roundtrip(self, registry_dir, capsys):
+        assert cli_main(["registry", "list", str(registry_dir)]) == 0
+        listing = capsys.readouterr().out
+        assert "v1:" in listing and "* v2:" in listing  # v2 is active
+
+        assert cli_main(["registry", "activate", str(registry_dir), "1"]) == 0
+        assert cli_main(["registry", "retire", str(registry_dir), "2"]) == 0
+        assert not (registry_dir / "v2").exists()
+
+        assert cli_main(["registry", "list", str(registry_dir)]) == 0
+        assert "* v1:" in capsys.readouterr().out
+
+    def test_retire_active_or_unknown_version_fails(self, registry_dir, capsys):
+        assert cli_main(["registry", "retire", str(registry_dir), "2"]) == 1
+        assert "cannot retire the active version" in capsys.readouterr().err
+        assert cli_main(["registry", "retire", str(registry_dir), "9"]) == 1
+        assert "unknown version v9" in capsys.readouterr().err
+
+    def test_list_empty_directory(self, tmp_path, capsys):
+        assert cli_main(["registry", "list", str(tmp_path / "nothing")]) == 0
+        assert "no versions" in capsys.readouterr().out

@@ -1,0 +1,137 @@
+"""DiskScanResultCache durability: corruption and partial-write recovery,
+and LRU eviction order across a simulated process restart."""
+
+import json
+import os
+
+from repro.evaluation.detector import PackageDetection
+from repro.scanserve import DiskScanResultCache
+
+
+def _detection(name="pkg==1.0", rules=("r1",)):
+    return PackageDetection(
+        package=name, actual_malicious=True, yara_rules=list(rules)
+    )
+
+
+def _age(cache: DiskScanResultCache, fingerprint: str, version: int, seconds: float):
+    """Backdate an entry's mtime (restart recency comes from mtimes)."""
+    path = cache.directory / cache._entry_name(fingerprint, version)
+    stat = path.stat()
+    os.utime(path, (stat.st_atime - seconds, stat.st_mtime - seconds))
+
+
+class TestPartialWriteRecovery:
+    def test_leftover_tmp_files_are_swept_on_attach(self, tmp_path):
+        directory = tmp_path / "cache"
+        first = DiskScanResultCache(directory)
+        first.put("fp", 1, _detection())
+        # a crash mid-put leaves a torn .tmp behind; os.replace never ran
+        torn = directory / "deadbeef.tmp"
+        torn.write_text('{"fingerprint": "fp2", "ruleset', encoding="utf-8")
+
+        reborn = DiskScanResultCache(directory)
+        assert not torn.exists()
+        assert len(reborn) == 1
+        assert reborn.get("fp", 1) is not None
+
+    def test_truncated_entry_is_dropped_on_attach(self, tmp_path):
+        directory = tmp_path / "cache"
+        cache = DiskScanResultCache(directory)
+        cache.put("good", 1, _detection("good==1.0"))
+        cache.put("bad", 1, _detection("bad==1.0"))
+        victim = directory / cache._entry_name("bad", 1)
+        payload = victim.read_text(encoding="utf-8")
+        victim.write_text(payload[: len(payload) // 2], encoding="utf-8")
+
+        reborn = DiskScanResultCache(directory)
+        assert len(reborn) == 1
+        assert reborn.get("bad", 1) is None
+        assert not victim.exists()  # corrupt file deleted, not kept around
+        assert reborn.get("good", 1).package == "good==1.0"
+
+    def test_entry_missing_required_fields_is_dropped(self, tmp_path):
+        directory = tmp_path / "cache"
+        cache = DiskScanResultCache(directory)
+        cache.put("fp", 1, _detection())
+        incomplete = directory / "0000.json"
+        incomplete.write_text(
+            json.dumps({"fingerprint": "x", "ruleset_version": 1, "detection": {}}),
+            encoding="utf-8",
+        )
+        foreign = directory / "notes.json"
+        foreign.write_text("[1, 2, 3]", encoding="utf-8")
+
+        reborn = DiskScanResultCache(directory)
+        assert len(reborn) == 1
+        assert not incomplete.exists() and not foreign.exists()
+
+    def test_entry_rotting_after_attach_is_a_miss_not_a_crash(self, tmp_path):
+        cache = DiskScanResultCache(tmp_path / "cache")
+        cache.put("fp", 1, _detection())
+        path = cache.directory / cache._entry_name("fp", 1)
+        path.write_text("{not json", encoding="utf-8")
+        assert cache.get("fp", 1) is None
+        assert cache.stats.misses == 1
+        # the rotted key is forgotten: a fresh put works again
+        cache.put("fp", 1, _detection())
+        assert cache.get("fp", 1) is not None
+
+
+class TestRestartEvictionOrder:
+    def test_recency_order_survives_a_restart(self, tmp_path):
+        directory = tmp_path / "cache"
+        first = DiskScanResultCache(directory, max_entries=8)
+        for index, fingerprint in enumerate(("a", "b", "c")):
+            first.put(fingerprint, 1, _detection(f"{fingerprint}==1.0"))
+            _age(first, fingerprint, 1, seconds=60.0 * (3 - index))
+        # touch 'a' last: it becomes the most recently used on disk
+        assert first.get("a", 1) is not None
+
+        reborn = DiskScanResultCache(directory, max_entries=3)
+        reborn.put("d", 1, _detection("d==1.0"))  # evicts exactly one entry
+        assert reborn.get("b", 1) is None, "LRU victim must be the oldest mtime"
+        assert reborn.get("a", 1) is not None
+        assert reborn.get("c", 1) is not None
+        assert not (directory / reborn._entry_name("b", 1)).exists()
+
+    def test_attach_trims_down_to_max_entries_oldest_first(self, tmp_path):
+        directory = tmp_path / "cache"
+        big = DiskScanResultCache(directory, max_entries=8)
+        for index, fingerprint in enumerate(("a", "b", "c", "d")):
+            big.put(fingerprint, 1, _detection(f"{fingerprint}==1.0"))
+            _age(big, fingerprint, 1, seconds=60.0 * (4 - index))
+
+        small = DiskScanResultCache(directory, max_entries=2)
+        assert len(small) == 2
+        assert small.get("a", 1) is None and small.get("b", 1) is None
+        assert small.get("c", 1) is not None and small.get("d", 1) is not None
+        assert len(list(directory.glob("*.json"))) == 2
+
+    def test_identical_mtimes_rebuild_deterministically(self, tmp_path):
+        directory = tmp_path / "cache"
+        first = DiskScanResultCache(directory, max_entries=8)
+        for fingerprint in ("a", "b", "c"):
+            first.put(fingerprint, 1, _detection(f"{fingerprint}==1.0"))
+        stamp = (directory / first._entry_name("a", 1)).stat().st_mtime
+        for fingerprint in ("a", "b", "c"):
+            os.utime(directory / first._entry_name(fingerprint, 1), (stamp, stamp))
+
+        orders = []
+        for _ in range(2):
+            reborn = DiskScanResultCache(directory, max_entries=8)
+            orders.append(list(reborn._entries))
+        assert orders[0] == orders[1]  # file-name tie-break: stable order
+
+    def test_get_refreshes_mtime_for_the_next_process(self, tmp_path):
+        directory = tmp_path / "cache"
+        cache = DiskScanResultCache(directory, max_entries=8)
+        cache.put("old", 1, _detection("old==1.0"))
+        cache.put("new", 1, _detection("new==1.0"))
+        _age(cache, "old", 1, seconds=3600.0)
+        _age(cache, "new", 1, seconds=1800.0)
+        assert cache.get("old", 1) is not None  # bumps mtime to now
+
+        reborn = DiskScanResultCache(directory, max_entries=1)
+        assert reborn.get("old", 1) is not None
+        assert reborn.get("new", 1) is None

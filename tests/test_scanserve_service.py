@@ -291,6 +291,65 @@ class TestRuleCostAccounting:
         assert svc.top_slow_rules() == []
 
 
+class TestTelemetryDeterminism:
+    def test_cost_ties_break_on_engine_then_rule_name(self):
+        """Equal costs must rank identically across runs (satellite: stable
+        secondary sort), regardless of recording order."""
+        orders = []
+        for names in (("zeta", "alpha", "mid"), ("mid", "zeta", "alpha")):
+            tracker = RuleCostTracker()
+            sample = RuleCostSample()
+            for name in names:
+                sample.record("yara", name, 0.5, "pkg")
+            sample.record("semgrep", "alpha", 0.5, "pkg")
+            tracker.absorb(sample)
+            orders.append([(c.engine, c.rule_key) for c in tracker.top_slow_rules(4)])
+        assert orders[0] == orders[1]
+        assert orders[0] == [
+            ("semgrep", "alpha"), ("yara", "alpha"), ("yara", "mid"), ("yara", "zeta"),
+        ]
+
+
+class TestAutomatonLaneThreshold:
+    def test_index_lane_follows_the_configured_threshold(self):
+        from repro.scanserve import RuleIndex
+
+        yara = _tiny_yara("one", "needle_aaa")
+        low = RuleIndex(yara=yara, automaton_threshold=1)
+        high = RuleIndex(yara=yara, automaton_threshold=512)
+        assert low.lane == "automaton"
+        assert high.lane == "substring"
+        assert low.stats().lane == "automaton"
+        assert low.stats().automaton_threshold == 1
+        # both lanes find the same atoms (the parity contract)
+        assert low.yara_rule_names("has needle_aaa inside") == ["one"]
+        assert high.yara_rule_names("has needle_aaa inside") == ["one"]
+
+    def test_service_records_the_chosen_lane(self, small_dataset):
+        service = ScanService(
+            config=ScanServiceConfig(mode="inprocess", automaton_threshold=1)
+        )
+        service.publish(yara=_tiny_yara())
+        service.scan_batch(small_dataset.packages[:3])
+        assert service.stats.lanes == {"automaton": 1}
+        assert service.registry.automaton_threshold == 1
+
+    def test_naive_mode_is_recorded_as_its_own_lane(self, small_dataset):
+        service = ScanService(
+            config=ScanServiceConfig(mode="inprocess", use_index=False)
+        )
+        service.publish(yara=_tiny_yara())
+        service.scan_batch(small_dataset.packages[:3])
+        assert service.stats.lanes == {"naive": 1}
+
+    def test_fully_cached_batches_count_as_the_cache_lane(self, small_dataset):
+        service = ScanService(config=ScanServiceConfig(mode="inprocess"))
+        service.publish(yara=_tiny_yara())
+        service.scan_batch(small_dataset.packages[:3])
+        service.scan_batch(small_dataset.packages[:3])  # all cache hits
+        assert service.stats.lanes == {"substring": 1, "cache": 1}
+
+
 # -- scheduler ----------------------------------------------------------------------
 
 
