@@ -27,10 +27,11 @@ from repro.utils.hashing import stable_hash
 from repro.yarax import compile_source
 
 TARGET_RULE_COUNT = 200
+REGISTRY_SCALE_RULE_COUNT = 1000  # the registry-scale regime: ~1k live rules
 MIN_SPEEDUP = 5.0
 
 
-def _synthetic_registry_rules(count: int) -> str:
+def _synthetic_registry_rules(count: int, start: int = 0) -> str:
     """Registry-style filler rules: unique atoms that rarely match.
 
     Mirrors a production deployment where most of the rule inventory targets
@@ -40,7 +41,7 @@ def _synthetic_registry_rules(count: int) -> str:
     literals, and regexes with literal cores.
     """
     sources = []
-    for i in range(count):
+    for i in range(start, start + count):
         token_a = f"registry_atom_{i}_{stable_hash(f'a{i}', bits=32):08x}"
         token_b = f"c2_domain_{i}_{stable_hash(f'b{i}', bits=32):08x}"
         if i % 3 == 0:
@@ -130,6 +131,59 @@ def test_bench_scan_throughput(benchmark, suite, report_dir):
             assert [(d.package, d.yara_rules) for d in batch.detections] == [
                 (d.package, d.yara_rules) for d in naive.detections
             ]
+
+        # registry-scale point: ~1000 live rules (the regime a multi-tenant
+        # gateway registry actually runs at).  The indexed lane is timed over
+        # the full corpus; the naive lane only over a subsample — at 1000
+        # rules full naive scanning is exactly the O(rules x packages) cost
+        # this index exists to avoid.
+        extra = compile_source(
+            _synthetic_registry_rules(
+                REGISTRY_SCALE_RULE_COUNT - len(yara), start=TARGET_RULE_COUNT
+            )
+        )
+        registry_yara = yara.extend(extra)
+        assert len(registry_yara) == REGISTRY_SCALE_RULE_COUNT
+
+        big_index = RuleIndex(yara=registry_yara)
+        big_scanner = RuleScanner(yara_rules=registry_yara, index=big_index)
+        start = time.perf_counter()
+        big_indexed = big_scanner.scan(prepared)
+        big_indexed_seconds = time.perf_counter() - start
+
+        subsample = prepared[: min(16, len(prepared))]
+        naive_big = RuleScanner(yara_rules=registry_yara)
+        start = time.perf_counter()
+        naive_big_result = naive_big.scan(subsample)
+        naive_big_seconds = time.perf_counter() - start
+        assert [
+            (d.package, d.yara_rules)
+            for d in big_indexed.detections[: len(subsample)]
+        ] == [(d.package, d.yara_rules) for d in naive_big_result.detections]
+
+        big_stats = big_index.stats()
+        big_pps = (
+            len(prepared) / big_indexed_seconds if big_indexed_seconds > 0 else 0.0
+        )
+        naive_big_pps = (
+            len(subsample) / naive_big_seconds if naive_big_seconds > 0 else 0.0
+        )
+        report["registry_scale"] = {
+            "rules": len(registry_yara),
+            "indexed_fraction": round(big_stats.indexed_fraction, 4),
+            "atoms": big_stats.atoms,
+            "indexed": {
+                "packages": len(prepared),
+                "seconds": round(big_indexed_seconds, 4),
+                "packages_per_second": round(big_pps, 2),
+            },
+            "naive_subsample": {
+                "packages": len(subsample),
+                "seconds": round(naive_big_seconds, 4),
+                "packages_per_second": round(naive_big_pps, 2),
+            },
+            "speedup": round(big_pps / naive_big_pps, 2) if naive_big_pps else None,
+        }
         return report
 
     report = run_once(benchmark, experiment)

@@ -1,6 +1,6 @@
 """Command-line interface (``rulellm``).
 
-Seven subcommands cover the common workflows:
+Nine subcommands cover the common workflows:
 
 ``rulellm generate``
     Build a synthetic corpus (or load unpacked packages from a directory),
@@ -38,6 +38,18 @@ Seven subcommands cover the common workflows:
     (``v1/``, ``v2/``, ... plus an ``ACTIVE`` marker): ``list`` compiles and
     summarises every version, ``activate`` flips the marker, ``retire``
     deletes a non-active version.
+
+``rulellm serve``
+    Run the :mod:`repro.gateway` — the long-running async multi-tenant
+    front end: an HTTP job queue for scan batches and streaming generation
+    feeds, per-tenant token-bucket quotas (429 + ``Retry-After`` on
+    rejection), isolated per-tenant registry namespaces, and long-poll
+    notification push for publishes and re-scan deltas.
+
+``rulellm client``
+    Talk to a running gateway: submit scan jobs and generation feeds
+    (from package directories or a synthetic corpus), await or poll job
+    status, cancel jobs, and read the tenant's notification stream.
 """
 
 from __future__ import annotations
@@ -160,6 +172,87 @@ def _add_registry(subparsers) -> None:
     retire_parser = actions.add_parser("retire", help="delete a non-active version")
     retire_parser.add_argument("dir")
     retire_parser.add_argument("version", type=int)
+
+
+def _add_serve(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "serve",
+        help="run the async multi-tenant gateway (job queue + quotas + event push)",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8711,
+                        help="listen port (0 picks a free one; default 8711)")
+    parser.add_argument("--model", default="gpt-4o",
+                        help="model profile used by generation-feed jobs")
+    parser.add_argument("--seed", type=int, default=1633)
+    parser.add_argument("--workers", type=int, default=2,
+                        help="concurrent jobs (default 2)")
+    parser.add_argument("--history", type=int, default=64,
+                        help="finished jobs kept addressable (default 64)")
+    parser.add_argument("--tenant", action="append", default=[],
+                        metavar="NAME[:CAPACITY[:REFILL]]",
+                        help="pre-register a tenant, optionally with a token-bucket "
+                             "burst capacity and refill rate (repeatable)")
+    parser.add_argument("--capacity", type=float, default=8.0,
+                        help="default tenant burst capacity (default 8)")
+    parser.add_argument("--refill", type=float, default=4.0,
+                        help="default tenant refill tokens/second (default 4)")
+    parser.add_argument("--no-auto-tenant", action="store_true",
+                        help="reject unknown tenants instead of auto-registering "
+                             "them with the default quota")
+    parser.add_argument("--ready-file", default=None,
+                        help="write 'host port' here once listening (for scripts)")
+
+
+def _add_client(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "client", help="drive a running gateway (see 'rulellm serve')"
+    )
+    parser.add_argument("--url", default="http://127.0.0.1:8711",
+                        help="gateway base URL (default http://127.0.0.1:8711)")
+    actions = parser.add_subparsers(dest="client_command", required=True)
+
+    actions.add_parser("health", help="gateway liveness and job counts")
+
+    def corpus_args(sub):
+        sub.add_argument("tenant", help="tenant name")
+        sub.add_argument("packages", nargs="*",
+                         help="unpacked package directories (or directories of them); "
+                              "omit to use a synthetic corpus via --scale")
+        sub.add_argument("--scale", type=float, default=0.02,
+                         help="synthetic corpus scale when no directories are given")
+        sub.add_argument("--seed", type=int, default=1633)
+        sub.add_argument("--label", default="")
+        sub.add_argument("--wait", type=float, default=0.0,
+                         help="seconds to wait for the job to finish (0: submit only)")
+        sub.add_argument("--json", default=None,
+                         help="write the final job document to this file")
+
+    corpus_args(actions.add_parser("scan", help="submit a scan batch job"))
+    generate = actions.add_parser(
+        "generate", help="submit a streaming generation feed"
+    )
+    corpus_args(generate)
+    generate.add_argument("--batches", type=int, default=2,
+                          help="stream the corpus in this many feed batches (default 2)")
+
+    status = actions.add_parser("status", help="one job's status")
+    status.add_argument("tenant")
+    status.add_argument("job")
+    status.add_argument("--wait", type=float, default=0.0)
+    status.add_argument("--json", default=None)
+
+    cancel = actions.add_parser("cancel", help="cancel a job")
+    cancel.add_argument("tenant")
+    cancel.add_argument("job")
+
+    events = actions.add_parser("events", help="read the notification stream")
+    events.add_argument("tenant")
+    events.add_argument("--after", type=int, default=0,
+                        help="only notifications after this sequence number")
+    events.add_argument("--wait", type=float, default=0.0,
+                        help="long-poll up to this many seconds for news")
+    events.add_argument("--json", default=None)
 
 
 def _add_evaluate(subparsers) -> None:
@@ -591,6 +684,202 @@ def _cmd_registry(args) -> int:
     return 2
 
 
+# -- gateway serving ----------------------------------------------------------------
+def _parse_tenant_spec(spec: str, default_quota):
+    """``NAME[:CAPACITY[:REFILL]]`` -> (name, TenantQuota)."""
+    from repro.gateway import TenantQuota
+
+    name, _, rest = spec.partition(":")
+    if not rest:
+        return name, default_quota
+    capacity, _, refill = rest.partition(":")
+    return name, TenantQuota(
+        capacity=float(capacity),
+        refill_per_second=float(refill) if refill else default_quota.refill_per_second,
+        max_pending_jobs=default_quota.max_pending_jobs,
+    )
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+    import signal
+
+    from repro.gateway import (
+        GatewayApp,
+        GatewayConfig,
+        GatewayHttpServer,
+        TenantQuota,
+    )
+
+    default_quota = TenantQuota(capacity=args.capacity, refill_per_second=args.refill)
+    config = GatewayConfig(
+        workers=max(1, args.workers),
+        history_limit=max(1, args.history),
+        default_quota=default_quota,
+        auto_register=not args.no_auto_tenant,
+        model=args.model,
+        seed=args.seed,
+    )
+
+    async def main() -> int:
+        app = await GatewayApp(config).start()
+        for spec in args.tenant:
+            name, quota = _parse_tenant_spec(spec, default_quota)
+            tenant = app.register_tenant(name, quota)
+            print(f"registered tenant {tenant.name} "
+                  f"(burst {quota.capacity:g}, {quota.refill_per_second:g}/s)")
+        server = GatewayHttpServer(app, host=args.host, port=args.port)
+        port = await server.start()
+        print(f"gateway listening on http://{args.host}:{port} "
+              f"({config.workers} workers, model {config.model})", flush=True)
+        if args.ready_file:
+            Path(args.ready_file).write_text(
+                f"{args.host} {port}\n", encoding="utf-8"
+            )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except NotImplementedError:  # non-unix event loops
+                pass
+        await stop.wait()
+        print("shutting down: draining in-flight jobs ...", flush=True)
+        await server.stop()
+        await app.shutdown(drain=True)
+        counts = app.jobs.counts()
+        print(f"gateway stopped (jobs: {counts})")
+        return 0
+
+    try:
+        return asyncio.run(main())
+    except KeyboardInterrupt:
+        return 0
+
+
+def _client_corpus(args):
+    """Packages for a client submission: directories, or a synthetic corpus."""
+    if args.packages:
+        package_dirs = _discover_package_dirs(args.packages)
+        return [load_package_from_directory(path) for path in package_dirs]
+    dataset = build_dataset(DatasetConfig(scale=args.scale, seed=args.seed))
+    if args.client_command == "generate":
+        return dataset.malware
+    return dataset.packages
+
+
+def _client_write_json(payload, json_path) -> None:
+    if json_path:
+        import json as json_module
+
+        Path(json_path).parent.mkdir(parents=True, exist_ok=True)
+        Path(json_path).write_text(
+            json_module.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {json_path}")
+
+
+def _print_job(job: dict) -> None:
+    line = f"job {job['id']} [{job['tenant']}] {job['state']}"
+    if job.get("error"):
+        line += f": {job['error']}"
+    print(line)
+    result = job.get("result")
+    if result:
+        if "summary" in result:
+            print(f"  {result['summary']}")
+        if "flagged" in result:
+            print(f"  {result['malicious']}/{result['packages']} flagged malicious "
+                  f"({result['packages_per_second']:.1f} pkg/s, "
+                  f"v{result['ruleset_version']})")
+
+
+def _cmd_client(args) -> int:
+    from repro.gateway import GatewayClient, GatewayError, RateLimited
+
+    client = GatewayClient(args.url)
+    try:
+        return _run_client_command(client, args)
+    except RateLimited as exc:
+        print(f"rate limited: {exc} (retry after {exc.retry_after:.1f}s)",
+              file=sys.stderr)
+        return 3
+    except GatewayError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    except (ConnectionError, OSError) as exc:
+        print(f"cannot reach gateway at {args.url}: {exc}", file=sys.stderr)
+        return 1
+
+
+def _run_client_command(client, args) -> int:
+    if args.client_command == "health":
+        health = client.health()
+        print(f"ok={health['ok']} tenants={health['tenants']} jobs={health['jobs']}")
+        return 0
+
+    if args.client_command == "events":
+        report = client.events(args.tenant, after=args.after, wait=args.wait)
+        for note in report["notifications"]:
+            payload = note["payload"]
+            if note["kind"] == "publish":
+                detail = (f"v{payload['version']} ({payload['rule_count']} rules, "
+                          f"{payload['kind']})")
+            elif note["kind"] == "rescan":
+                detail = (f"-> v{payload['to_version']}: {len(payload['new'])} new, "
+                          f"{len(payload['changed'])} changed, "
+                          f"{len(payload['cleared'])} cleared")
+            else:
+                detail = str(payload)
+            print(f"#{note['seq']} {note['kind']}: {detail}")
+        print(f"cursor: {report['cursor']}")
+        _client_write_json(report, args.json)
+        return 0
+
+    if args.client_command == "status":
+        job = client.job(args.tenant, args.job, wait=args.wait)
+        _print_job(job)
+        _client_write_json(job, args.json)
+        return 0 if job["state"] != "failed" else 1
+
+    if args.client_command == "cancel":
+        job = client.cancel_job(args.tenant, args.job)
+        _print_job(job)
+        return 0
+
+    packages = _client_corpus(args)
+    if not packages:
+        print("no packages to submit", file=sys.stderr)
+        return 1
+
+    if args.client_command == "scan":
+        job = client.submit_scan_with_retry(
+            args.tenant, packages, label=args.label
+        )
+        print(f"submitted scan job {job['id']} ({len(packages)} packages)")
+    else:  # generate: open feed, stream batches, close
+        job = client.open_generation(args.tenant, label=args.label)
+        print(f"opened generation feed {job['id']}")
+        batches = max(1, min(args.batches, len(packages)))
+        chunk = -(-len(packages) // batches)
+        for start in range(0, len(packages), chunk):
+            fed = client.feed_generation(
+                args.tenant, job["id"], packages[start:start + chunk]
+            )
+            print(f"  fed {fed['fed']} packages")
+        client.close_generation(args.tenant, job["id"])
+        print("feed closed; generation running")
+
+    if args.wait > 0:
+        job = client.wait_job(args.tenant, job["id"], timeout=args.wait)
+    else:
+        job = client.job(args.tenant, job["id"])
+    _print_job(job)
+    _client_write_json(job, args.json)
+    return 0 if job["state"] != "failed" else 1
+
+
 def _cmd_evaluate(args) -> int:
     dataset_config = DatasetConfig(scale=args.scale, seed=args.seed)
     if args.scale < 0.5:
@@ -610,6 +899,8 @@ def main(argv: list[str] | None = None) -> int:
     _add_pipeline(subparsers)
     _add_orchestrate(subparsers)
     _add_registry(subparsers)
+    _add_serve(subparsers)
+    _add_client(subparsers)
     _add_evaluate(subparsers)
     args = parser.parse_args(argv)
     if args.command == "generate":
@@ -624,6 +915,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_orchestrate(args)
     if args.command == "registry":
         return _cmd_registry(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "client":
+        return _cmd_client(args)
     if args.command == "evaluate":
         return _cmd_evaluate(args)
     parser.error(f"unknown command {args.command!r}")

@@ -1,0 +1,75 @@
+"""``repro.gateway`` — the async multi-tenant scan/generation gateway.
+
+The serving front end over :mod:`repro.scanserve` and :mod:`repro.api`:
+a :class:`GatewayApp` owns an async job queue (scan batches, streaming
+generation feeds), a tenant manager with per-tenant token-bucket quotas
+and isolated registry namespaces, and a notification hub that pushes
+registry publishes and re-scan deltas to subscribers instead of making
+them poll.  ``rulellm serve`` exposes it over HTTP; ``rulellm client``
+talks to it.
+"""
+
+from repro.gateway.app import GatewayApp, GatewayConfig
+from repro.gateway.http import (
+    GatewayClient,
+    GatewayError,
+    GatewayHttpServer,
+    ThreadedGateway,
+    package_from_wire,
+    package_to_wire,
+)
+from repro.gateway.jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
+    Job,
+    JobQueue,
+)
+from repro.gateway.notify import Notification, NotificationHub, Subscription
+from repro.gateway.ratelimit import (
+    Backoff,
+    RateLimited,
+    TokenBucket,
+    retry_sync,
+    retry_with_backoff,
+)
+from repro.gateway.tenants import (
+    Tenant,
+    TenantManager,
+    TenantQuota,
+    UnknownTenant,
+)
+
+__all__ = [
+    "Backoff",
+    "CANCELLED",
+    "DONE",
+    "FAILED",
+    "GatewayApp",
+    "GatewayClient",
+    "GatewayConfig",
+    "GatewayError",
+    "GatewayHttpServer",
+    "Job",
+    "JobQueue",
+    "Notification",
+    "NotificationHub",
+    "QUEUED",
+    "RUNNING",
+    "RateLimited",
+    "Subscription",
+    "TERMINAL_STATES",
+    "Tenant",
+    "TenantManager",
+    "TenantQuota",
+    "ThreadedGateway",
+    "TokenBucket",
+    "UnknownTenant",
+    "package_from_wire",
+    "package_to_wire",
+    "retry_sync",
+    "retry_with_backoff",
+]

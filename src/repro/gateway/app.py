@@ -1,0 +1,317 @@
+"""`GatewayApp` — the async multi-tenant serving front end.
+
+This is the subsystem that turns the library seams grown by earlier PRs —
+:class:`~repro.scanserve.registry.RulesetRegistry` versioning + event bus,
+:class:`~repro.scanserve.service.ScanService` live re-scan,
+:class:`~repro.api.session.GenerationSession` streaming ingest — into one
+long-running service:
+
+* **tenancy**: every tenant gets an isolated registry namespace, scan
+  service, token-bucket quota (:mod:`repro.gateway.tenants`);
+* **job queue**: scan batches and streaming generation feeds become
+  :class:`~repro.gateway.jobs.Job` s executed by a bounded asyncio worker
+  pool; clients poll, await, or cancel (:mod:`repro.gateway.jobs`);
+* **event push**: registry publishes and re-scan deltas are bridged into
+  per-tenant async notification streams (:mod:`repro.gateway.notify`), so
+  subscribers hear about new rule versions without polling.
+
+Blocking pipeline work (scanning, rule generation) runs on the default
+executor, keeping the event loop free to admit requests, serve status and
+push notifications while scans saturate threads.
+
+    app = await GatewayApp().start()
+    app.register_tenant("acme")
+    job = await app.submit_scan("acme", packages)
+    job = await app.await_job("acme", job.id)
+    await app.shutdown()                      # drains in-flight jobs
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.api.session import GenerationSession
+from repro.core.config import RuleLLMConfig
+from repro.corpus.package import Package
+from repro.gateway.jobs import Job, JobQueue
+from repro.gateway.notify import NotificationHub, Subscription
+from repro.gateway.ratelimit import Clock, RateLimited
+from repro.gateway.tenants import Tenant, TenantManager, TenantQuota, UnknownTenant
+from repro.scanserve.registry import PublishEvent
+from repro.scanserve.scheduler import BoundedQueue
+from repro.scanserve.service import RescanDelta
+
+
+@dataclass
+class GatewayConfig:
+    """Knobs of the gateway."""
+
+    workers: int = 2  # concurrent jobs (each off-loads to an executor thread)
+    history_limit: int = 64  # finished jobs kept addressable
+    notification_backlog: int = 256  # per-tenant retained notifications
+    default_quota: TenantQuota = field(default_factory=TenantQuota)
+    auto_register: bool = True  # unknown tenants get the default quota on first use
+    model: str = "gpt-4o"  # generation profile for feed jobs
+    seed: int = 1633
+    feed_capacity: int = 4096  # streaming-ingest buffer per generation feed
+    feed_put_timeout: float = 5.0  # backpressure: how long a feed put may block
+
+
+def _event_payload(event: PublishEvent) -> dict:
+    return {
+        "namespace": event.namespace,
+        "kind": event.kind,
+        "version": event.version.version,
+        "label": event.version.label,
+        "rule_count": event.version.rule_count,
+        "activated": event.activated,
+        "previous_version": event.previous_version,
+    }
+
+
+class GatewayApp:
+    """Owns the job queue, tenant manager and notification hub."""
+
+    def __init__(
+        self,
+        config: Optional[GatewayConfig] = None,
+        clock: Optional[Clock] = None,
+    ) -> None:
+        self.config = config or GatewayConfig()
+        self.clock = clock or time.time
+        self.tenants = TenantManager(
+            default_quota=self.config.default_quota, clock=self.clock
+        )
+        self.jobs = JobQueue(
+            workers=self.config.workers,
+            history_limit=self.config.history_limit,
+            clock=self.clock,
+        )
+        self.hub = NotificationHub(
+            backlog=self.config.notification_backlog, clock=self.clock
+        )
+        self._feeds: Dict[str, BoundedQueue] = {}  # open generation feeds by job id
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+
+    # -- lifecycle ------------------------------------------------------------------
+    async def start(self) -> "GatewayApp":
+        self._loop = asyncio.get_running_loop()
+        self.hub.bind(self._loop)
+        await self.jobs.start()
+        return self
+
+    async def shutdown(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Stop accepting work and wind down.
+
+        Open generation feeds are closed first (their jobs proceed to
+        generate from what was fed), then the job queue drains in-flight
+        jobs (``drain=True``) or cancels everything pending.
+        """
+        for job_id in list(self._feeds):
+            feed = self._feeds.pop(job_id, None)
+            if feed is not None:
+                feed.close()
+        await self.jobs.shutdown(drain=drain, timeout=timeout)
+
+    @property
+    def started(self) -> bool:
+        return self._loop is not None
+
+    # -- tenancy --------------------------------------------------------------------
+    def register_tenant(
+        self, name: str, quota: Optional[TenantQuota] = None
+    ) -> Tenant:
+        """Register a tenant and bridge its registry events into the hub."""
+        tenant = self.tenants.register(name, quota)
+        token = tenant.registry.subscribe(
+            lambda event, t=name: self.hub.publish(t, "publish", _event_payload(event))
+        )
+        tenant.bridge_tokens.append(token)
+        tenant.service.enable_live_rescan(
+            on_delta=lambda delta, t=name: self.hub.publish(
+                t, "rescan", delta.to_dict()
+            )
+        )
+        return tenant
+
+    def tenant(self, name: str) -> Tenant:
+        """Lookup, auto-registering when the config allows it."""
+        try:
+            return self.tenants.get(name)
+        except UnknownTenant:
+            if not self.config.auto_register:
+                raise
+            return self.register_tenant(name)
+
+    def _admit(self, name: str) -> Tenant:
+        tenant = self.tenant(name)
+        pending = sum(
+            1 for job in self.jobs.jobs(tenant=name) if not job.finished
+        )
+        return self.tenants.admit(name, pending_jobs=pending)
+
+    # -- scan jobs ------------------------------------------------------------------
+    async def submit_scan(
+        self,
+        tenant_name: str,
+        packages: Sequence[Package],
+        label: str = "",
+    ) -> Job:
+        """Queue a scan batch against the tenant's active ruleset version.
+
+        Raises :class:`RateLimited` at admission; a missing ruleset fails
+        the *job* (the submission itself is valid).
+        """
+        tenant = self._admit(tenant_name)
+        batch = list(packages)
+        if not batch:
+            raise ValueError("scan batch is empty")
+        loop = self._require_loop()
+
+        async def run(job: Job) -> dict:
+            def work() -> dict:
+                result = tenant.service.scan_batch(batch)
+                return result.to_dict(include_detections=False)
+
+            return await loop.run_in_executor(None, work)
+
+        return self.jobs.submit("scan", tenant_name, run, label=label)
+
+    # -- streaming generation feeds ---------------------------------------------------
+    async def open_generation(self, tenant_name: str, label: str = "") -> Job:
+        """Open a streaming generation feed as a job.
+
+        The job consumes the feed (with backpressure) until
+        :meth:`close_generation`, then runs the full stage chain and
+        auto-publishes into the tenant's registry — which pushes a
+        ``publish`` notification and triggers the tenant's live re-scan.
+        """
+        tenant = self._admit(tenant_name)
+        loop = self._require_loop()
+        feed = BoundedQueue(max_items=self.config.feed_capacity)
+        session = GenerationSession(
+            config=RuleLLMConfig.full(model=self.config.model, seed=self.config.seed),
+            registry=tenant.registry,
+            shard_label=tenant_name,
+        )
+
+        async def run(job: Job) -> dict:
+            try:
+                consumed = await loop.run_in_executor(
+                    None, lambda: session.consume(feed, batch_size=64)
+                )
+                result = await loop.run_in_executor(
+                    None, lambda: session.generate(label or job.label or tenant_name)
+                )
+            finally:
+                feed.close()
+                self._feeds.pop(job.id, None)
+            counts = result.rule_set.counts()
+            return {
+                "consumed": consumed,
+                "batches": len(result.batch_sizes),
+                "rules": counts,
+                "published_version": (
+                    result.version.version if result.version is not None else None
+                ),
+                "summary": result.describe(),
+            }
+
+        job = self.jobs.submit("generate", tenant_name, run, label=label)
+        self._feeds[job.id] = feed
+        return job
+
+    async def feed_generation(
+        self, tenant_name: str, job_id: str, packages: Iterable[Package]
+    ) -> int:
+        """Stream a batch of packages into an open generation feed."""
+        self.job(tenant_name, job_id)  # ownership + existence check
+        feed = self._feeds.get(job_id)
+        if feed is None or feed.closed:
+            raise LookupError(f"job {job_id!r} has no open generation feed")
+        loop = self._require_loop()
+        fed = 0
+        for package in packages:
+            accepted = await loop.run_in_executor(
+                None,
+                lambda p=package: feed.put(p, timeout=self.config.feed_put_timeout),
+            )
+            if not accepted:  # the consumer is that far behind: shed load
+                raise RateLimited(
+                    f"generation feed {job_id!r} is backpressured",
+                    retry_after=self.config.feed_put_timeout,
+                )
+            fed += 1
+        return fed
+
+    async def close_generation(self, tenant_name: str, job_id: str) -> Job:
+        """Close the feed; the job proceeds to generation and publish."""
+        job = self.job(tenant_name, job_id)
+        feed = self._feeds.pop(job_id, None)
+        if feed is not None:
+            feed.close()
+        return job
+
+    # -- job access -------------------------------------------------------------------
+    def job(self, tenant_name: str, job_id: str) -> Job:
+        """A tenant's job; jobs of other tenants are indistinguishable from
+        missing ones (no cross-tenant existence probing)."""
+        job = self.jobs.get(job_id)
+        if job.tenant != tenant_name:
+            raise LookupError(f"unknown job {job_id!r}")
+        return job
+
+    def tenant_jobs(self, tenant_name: str) -> List[Job]:
+        return self.jobs.jobs(tenant=tenant_name)
+
+    async def await_job(
+        self, tenant_name: str, job_id: str, timeout: Optional[float] = None
+    ) -> Job:
+        self.job(tenant_name, job_id)
+        return await self.jobs.wait(job_id, timeout=timeout)
+
+    def cancel_job(self, tenant_name: str, job_id: str) -> Job:
+        job = self.job(tenant_name, job_id)
+        feed = self._feeds.pop(job_id, None)
+        if feed is not None:
+            feed.close()
+        self.jobs.cancel(job_id)
+        return job
+
+    # -- notifications ----------------------------------------------------------------
+    def subscribe(self, tenant_name: str, from_start: bool = False) -> Subscription:
+        self.tenant(tenant_name)
+        return self.hub.subscribe(tenant_name, from_start=from_start)
+
+    async def wait_notifications(
+        self, tenant_name: str, after_seq: int = 0, timeout: float = 5.0
+    ):
+        self.tenant(tenant_name)
+        return await self.hub.wait_for(tenant_name, after_seq, timeout)
+
+    # -- introspection ----------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "tenants": [tenant.to_dict() for tenant in self.tenants.tenants()],
+            "jobs": self.jobs.counts(),
+            "open_feeds": len(self._feeds),
+            "accepting": self.jobs.accepting,
+        }
+
+    def _require_loop(self) -> asyncio.AbstractEventLoop:
+        if self._loop is None:
+            raise RuntimeError("gateway not started; await GatewayApp.start() first")
+        return self._loop
+
+
+__all__ = [
+    "GatewayApp",
+    "GatewayConfig",
+    "RateLimited",
+    "RescanDelta",
+    "TenantQuota",
+    "UnknownTenant",
+]

@@ -1,0 +1,577 @@
+"""Thin HTTP/1.1 layer over asyncio streams, plus the blocking client.
+
+No third-party web framework: :class:`GatewayHttpServer` parses requests
+straight off an :func:`asyncio.start_server` stream pair and speaks JSON.
+One connection serves one request (``Connection: close``) — the gateway's
+push channel is the **long-poll** events endpoint, not connection reuse.
+
+Routes (all JSON bodies)::
+
+    GET  /healthz                                  liveness + job counts
+    GET  /tenants                                  registered tenants
+    POST /tenants          {name, quota?}          register (201; 409 dup)
+    POST /v1/T/scan        {packages, label?}      queue a scan job (202)
+    POST /v1/T/generate    {label?}                open a streaming feed (202)
+    POST /v1/T/generate/J/feed   {packages}        stream a batch into the feed
+    POST /v1/T/generate/J/close                    close the feed -> generate
+    GET  /v1/T/jobs                                the tenant's jobs
+    GET  /v1/T/jobs/J?wait=S                       job status (optionally await)
+    POST /v1/T/jobs/J/cancel                       cancel
+    GET  /v1/T/events?after=N&wait=S               long-poll notifications
+
+Quota rejections map to **429** with a ``Retry-After`` header and a
+``retry_after`` field, the contract :func:`repro.gateway.ratelimit.retry_sync`
+consumes on the client side.  :class:`GatewayClient` is the stdlib
+(`http.client`) blocking client used by ``rulellm client``, the tests and
+the CI smoke; :class:`ThreadedGateway` runs a whole app+server on a
+background thread so synchronous code can drive a live gateway.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import threading
+import time
+import urllib.parse
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.corpus.package import Package, PackageFile, PackageMetadata
+from repro.gateway.app import GatewayApp, GatewayConfig
+from repro.gateway.ratelimit import Backoff, RateLimited, retry_sync
+from repro.gateway.tenants import TenantQuota, UnknownTenant
+
+_MAX_BODY = 64 * 1024 * 1024  # 64 MiB: scan batches carry whole packages
+_MAX_HEADER_LINE = 16 * 1024
+
+_STATUS_TEXT = {
+    200: "OK",
+    201: "Created",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+# -- wire format --------------------------------------------------------------------
+def package_to_wire(package: Package) -> dict:
+    """JSON-safe form of a :class:`Package` for scan/feed submissions."""
+    return {
+        "name": package.name,
+        "version": package.version,
+        "label": package.label,
+        "ecosystem": package.ecosystem,
+        "metadata": json.loads(package.metadata.to_json()),
+        "files": [{"path": f.path, "content": f.content} for f in package.files],
+    }
+
+
+def package_from_wire(data: dict) -> Package:
+    if not isinstance(data, dict) or "name" not in data:
+        raise ValueError("package payload needs at least a 'name'")
+    name = str(data["name"])
+    version = str(data.get("version", "0.0.0"))
+    metadata = data.get("metadata")
+    if isinstance(metadata, dict):
+        meta = PackageMetadata.from_json(json.dumps(metadata))
+    else:
+        meta = PackageMetadata(name=name, version=version)
+    package = Package(
+        name=name,
+        version=version,
+        metadata=meta,
+        label=str(data.get("label", "benign")),
+        ecosystem=str(data.get("ecosystem", "pypi")),
+    )
+    for entry in data.get("files", []):
+        package.files.append(
+            PackageFile(path=str(entry["path"]), content=str(entry["content"]))
+        )
+    return package
+
+
+def _packages_from_body(body: dict) -> List[Package]:
+    raw = body.get("packages")
+    if not isinstance(raw, list) or not raw:
+        raise ValueError("body needs a non-empty 'packages' list")
+    return [package_from_wire(entry) for entry in raw]
+
+
+# -- server -------------------------------------------------------------------------
+class GatewayHttpServer:
+    """Serve a :class:`GatewayApp` over HTTP on asyncio streams."""
+
+    def __init__(
+        self, app: GatewayApp, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.app = app
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> int:
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- connection handling --------------------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        status, payload, extra_headers = 500, {"error": "internal error"}, {}
+        try:
+            request = await self._read_request(reader)
+            if request is None:
+                writer.close()
+                return
+            method, path, query, body = request
+            status, payload, extra_headers = await self._route(
+                method, path, query, body
+            )
+        except _HttpError as exc:
+            status, payload, extra_headers = exc.status, {"error": str(exc)}, {}
+        except RateLimited as exc:
+            status, payload, extra_headers = 429, exc.to_dict(), _retry_headers(exc)
+        except (UnknownTenant, LookupError) as exc:
+            status, payload, extra_headers = 404, {"error": str(exc)}, {}
+        except ValueError as exc:
+            status, payload, extra_headers = 400, {"error": str(exc)}, {}
+        except RuntimeError as exc:
+            status, payload, extra_headers = 503, {"error": str(exc)}, {}
+        except Exception as exc:  # the server must not die with a connection
+            status, payload, extra_headers = 500, {
+                "error": f"{type(exc).__name__}: {exc}"
+            }, {}
+        try:
+            await self._respond(writer, status, payload, extra_headers)
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            writer.close()
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, dict, dict]]:
+        try:
+            request_line = await reader.readline()
+        except (ConnectionError, asyncio.LimitOverrunError):
+            return None
+        if not request_line.strip():
+            return None
+        try:
+            method, target, _ = request_line.decode("latin-1").split(" ", 2)
+        except ValueError:
+            raise _HttpError(400, "malformed request line")
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if len(line) > _MAX_HEADER_LINE:
+                raise _HttpError(400, "header line too long")
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > _MAX_BODY:
+            raise _HttpError(413, f"body exceeds {_MAX_BODY} bytes")
+        body: dict = {}
+        if length:
+            raw = await reader.readexactly(length)
+            try:
+                body = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise _HttpError(400, f"invalid JSON body: {exc}")
+            if not isinstance(body, dict):
+                raise _HttpError(400, "JSON body must be an object")
+        parsed = urllib.parse.urlsplit(target)
+        query = {
+            key: values[-1]
+            for key, values in urllib.parse.parse_qs(parsed.query).items()
+        }
+        return method.upper(), parsed.path, query, body
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict,
+        extra_headers: Optional[dict] = None,
+    ) -> None:
+        data = json.dumps(payload, sort_keys=True).encode("utf-8")
+        headers = {
+            "Content-Type": "application/json",
+            "Content-Length": str(len(data)),
+            "Connection": "close",
+        }
+        headers.update(extra_headers or {})
+        head = [f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}"]
+        head.extend(f"{name}: {value}" for name, value in headers.items())
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + data)
+        await writer.drain()
+
+    # -- routing --------------------------------------------------------------------
+    async def _route(
+        self, method: str, path: str, query: dict, body: dict
+    ) -> Tuple[int, dict, dict]:
+        parts = [part for part in path.split("/") if part]
+        app = self.app
+
+        if method == "GET" and parts == ["healthz"]:
+            return 200, {
+                "ok": True,
+                "tenants": len(app.tenants),
+                "jobs": app.jobs.counts(),
+                "accepting": app.jobs.accepting,
+            }, {}
+
+        if parts == ["tenants"]:
+            if method == "GET":
+                return 200, {
+                    "tenants": [t.to_dict() for t in app.tenants.tenants()]
+                }, {}
+            if method == "POST":
+                name = body.get("name", "")
+                quota = (
+                    TenantQuota.from_dict(body["quota"])
+                    if isinstance(body.get("quota"), dict)
+                    else None
+                )
+                try:
+                    tenant = app.register_tenant(name, quota)
+                except ValueError as exc:
+                    if "already registered" in str(exc):
+                        return 409, {"error": str(exc)}, {}
+                    raise
+                return 201, tenant.to_dict(), {}
+            raise _HttpError(405, f"{method} not allowed on /tenants")
+
+        if len(parts) >= 2 and parts[0] == "v1":
+            tenant_name = parts[1]
+            rest = parts[2:]
+            return await self._route_tenant(method, tenant_name, rest, query, body)
+
+        raise _HttpError(404, f"no route for {method} {path}")
+
+    async def _route_tenant(
+        self, method: str, tenant: str, rest: list, query: dict, body: dict
+    ) -> Tuple[int, dict, dict]:
+        app = self.app
+
+        if rest == ["scan"] and method == "POST":
+            packages = _packages_from_body(body)
+            job = await app.submit_scan(tenant, packages, label=body.get("label", ""))
+            return 202, job.to_dict(), {}
+
+        if rest == ["generate"] and method == "POST":
+            job = await app.open_generation(tenant, label=body.get("label", ""))
+            return 202, job.to_dict(), {}
+
+        if len(rest) == 3 and rest[0] == "generate" and method == "POST":
+            job_id = rest[1]
+            if rest[2] == "feed":
+                fed = await app.feed_generation(
+                    tenant, job_id, _packages_from_body(body)
+                )
+                return 200, {"job": job_id, "fed": fed}, {}
+            if rest[2] == "close":
+                job = await app.close_generation(tenant, job_id)
+                return 200, job.to_dict(), {}
+
+        if rest == ["jobs"] and method == "GET":
+            return 200, {
+                "jobs": [job.to_dict(include_result=False) for job in app.tenant_jobs(tenant)]
+            }, {}
+
+        if len(rest) == 2 and rest[0] == "jobs" and method == "GET":
+            wait = float(query.get("wait", "0") or "0")
+            if wait > 0:
+                try:
+                    job = await app.await_job(tenant, rest[1], timeout=wait)
+                except TimeoutError:
+                    job = app.job(tenant, rest[1])
+            else:
+                job = app.job(tenant, rest[1])
+            return 200, job.to_dict(), {}
+
+        if len(rest) == 3 and rest[:1] == ["jobs"] and rest[2] == "cancel" and method == "POST":
+            job = app.cancel_job(tenant, rest[1])
+            return 200, job.to_dict(), {}
+
+        if rest == ["events"] and method == "GET":
+            after = int(query.get("after", "0") or "0")
+            wait = float(query.get("wait", "0") or "0")
+            if wait > 0:
+                notes = await app.wait_notifications(tenant, after, timeout=wait)
+            else:
+                app.tenant(tenant)
+                notes = app.hub.pending(tenant, after)
+            cursor = notes[-1].seq if notes else max(after, 0)
+            return 200, {
+                "notifications": [note.to_dict() for note in notes],
+                "cursor": cursor,
+            }, {}
+
+        raise _HttpError(404, f"no route for {method} /v1/{tenant}/{'/'.join(rest)}")
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+def _retry_headers(exc: RateLimited) -> dict:
+    if not math.isfinite(exc.retry_after):
+        return {}
+    return {"Retry-After": str(max(1, math.ceil(exc.retry_after)))}
+
+
+# -- blocking client ----------------------------------------------------------------
+class GatewayError(RuntimeError):
+    """Non-429 HTTP error from the gateway."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class GatewayClient:
+    """Synchronous stdlib client for the gateway's HTTP API.
+
+    Raises :class:`~repro.gateway.ratelimit.RateLimited` on 429 (with the
+    server's ``retry_after``) and :class:`GatewayError` on other failures,
+    so callers can wire :func:`~repro.gateway.ratelimit.retry_sync` around
+    any submission.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+        parsed = urllib.parse.urlsplit(base_url)
+        if parsed.scheme not in ("http", ""):
+            raise ValueError(f"unsupported scheme {parsed.scheme!r}")
+        netloc = parsed.netloc or parsed.path  # accept "host:port" shorthand
+        host, _, port = netloc.partition(":")
+        self.host = host or "127.0.0.1"
+        self.port = int(port) if port else 80
+        self.timeout = timeout
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[dict] = None,
+        timeout: Optional[float] = None,
+    ) -> dict:
+        import http.client
+
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=timeout or self.timeout
+        )
+        try:
+            body = json.dumps(payload).encode("utf-8") if payload is not None else None
+            connection.request(
+                method,
+                path,
+                body=body,
+                headers={"Content-Type": "application/json"} if body else {},
+            )
+            response = connection.getresponse()
+            raw = response.read()
+        finally:
+            connection.close()
+        data = json.loads(raw.decode("utf-8")) if raw else {}
+        if response.status == 429:
+            retry_after = data.get("retry_after")
+            if retry_after is None:
+                retry_after = float(response.getheader("Retry-After", "1") or "1")
+            raise RateLimited(
+                data.get("error", "rate limited"), retry_after=float(retry_after)
+            )
+        if response.status >= 400:
+            raise GatewayError(response.status, data.get("error", "request failed"))
+        return data
+
+    # -- endpoints ------------------------------------------------------------------
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def tenants(self) -> List[dict]:
+        return self._request("GET", "/tenants")["tenants"]
+
+    def register_tenant(
+        self, name: str, quota: Optional[TenantQuota] = None
+    ) -> dict:
+        payload: dict = {"name": name}
+        if quota is not None:
+            payload["quota"] = quota.to_dict()
+        return self._request("POST", "/tenants", payload)
+
+    def submit_scan(
+        self, tenant: str, packages: Sequence[Package], label: str = ""
+    ) -> dict:
+        return self._request(
+            "POST",
+            f"/v1/{tenant}/scan",
+            {
+                "label": label,
+                "packages": [package_to_wire(p) for p in packages],
+            },
+        )
+
+    def submit_scan_with_retry(
+        self,
+        tenant: str,
+        packages: Sequence[Package],
+        label: str = "",
+        attempts: int = 5,
+        backoff: Optional[Backoff] = None,
+    ) -> dict:
+        return retry_sync(
+            lambda: self.submit_scan(tenant, packages, label=label),
+            attempts=attempts,
+            backoff=backoff,
+        )
+
+    def open_generation(self, tenant: str, label: str = "") -> dict:
+        return self._request("POST", f"/v1/{tenant}/generate", {"label": label})
+
+    def feed_generation(
+        self, tenant: str, job_id: str, packages: Iterable[Package]
+    ) -> dict:
+        return self._request(
+            "POST",
+            f"/v1/{tenant}/generate/{job_id}/feed",
+            {"packages": [package_to_wire(p) for p in packages]},
+        )
+
+    def close_generation(self, tenant: str, job_id: str) -> dict:
+        return self._request("POST", f"/v1/{tenant}/generate/{job_id}/close", {})
+
+    def job(self, tenant: str, job_id: str, wait: float = 0.0) -> dict:
+        suffix = f"?wait={wait:g}" if wait > 0 else ""
+        return self._request(
+            "GET",
+            f"/v1/{tenant}/jobs/{job_id}{suffix}",
+            timeout=max(self.timeout, wait + 10.0),
+        )
+
+    def jobs(self, tenant: str) -> List[dict]:
+        return self._request("GET", f"/v1/{tenant}/jobs")["jobs"]
+
+    def wait_job(
+        self, tenant: str, job_id: str, timeout: float = 120.0, poll: float = 2.0
+    ) -> dict:
+        """Block until the job reaches a terminal state (server-side waits
+        of ``poll`` seconds each, so this is long-poll, not busy-poll)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(f"job {job_id} still running after {timeout}s")
+            job = self.job(tenant, job_id, wait=min(poll, max(0.1, remaining)))
+            if job["state"] in ("done", "failed", "cancelled"):
+                return job
+
+    def cancel_job(self, tenant: str, job_id: str) -> dict:
+        return self._request("POST", f"/v1/{tenant}/jobs/{job_id}/cancel", {})
+
+    def events(self, tenant: str, after: int = 0, wait: float = 0.0) -> dict:
+        query = f"after={after}"
+        if wait > 0:
+            query += f"&wait={wait:g}"
+        return self._request(
+            "GET",
+            f"/v1/{tenant}/events?{query}",
+            timeout=max(self.timeout, wait + 10.0),
+        )
+
+
+# -- threaded harness ---------------------------------------------------------------
+class ThreadedGateway:
+    """A live gateway (app + HTTP server) on a daemon thread.
+
+    Lets synchronous code — tests, the example, ``rulellm client`` demos —
+    drive a real server without managing an event loop.  ``stop()`` drains
+    in-flight jobs before the loop exits.
+    """
+
+    def __init__(
+        self,
+        config: Optional[GatewayConfig] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.config = config or GatewayConfig()
+        self.host = host
+        self.port = port
+        self.app: Optional[GatewayApp] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._stop: Optional[asyncio.Event] = None
+        self._startup_error: Optional[BaseException] = None
+
+    def start(self, timeout: float = 10.0) -> "ThreadedGateway":
+        if self._thread is not None:
+            raise RuntimeError("gateway thread already started")
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self._main()), daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise TimeoutError("gateway thread did not come up")
+        if self._startup_error is not None:
+            raise RuntimeError("gateway failed to start") from self._startup_error
+        return self
+
+    async def _main(self) -> None:
+        try:
+            self._loop = asyncio.get_running_loop()
+            self._stop = asyncio.Event()
+            self.app = await GatewayApp(self.config).start()
+            server = GatewayHttpServer(self.app, host=self.host, port=self.port)
+            self.port = await server.start()
+        except BaseException as exc:
+            self._startup_error = exc
+            self._ready.set()
+            raise
+        self._ready.set()
+        try:
+            await self._stop.wait()
+        finally:
+            await server.stop()
+            await self.app.shutdown(drain=True)
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def client(self, timeout: float = 60.0) -> GatewayClient:
+        return GatewayClient(self.url, timeout=timeout)
+
+    def stop(self, timeout: float = 30.0) -> None:
+        if self._thread is None:
+            return
+        if self._loop is not None and self._stop is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop.set)
+            except RuntimeError:
+                pass  # loop already closed
+        self._thread.join(timeout)
+        self._thread = None

@@ -122,12 +122,16 @@ class PublishEvent:
     ``activate``; ``activated`` tells whether the *live* version changed
     (subscribers that only care about serving traffic — live re-scan — can
     ignore everything else).  ``previous_version`` is what was live before.
+    ``namespace`` is the emitting registry's namespace (empty for the
+    default single-tenant registry), so a bridge fanning events from many
+    tenant registries into one stream can attribute each event.
     """
 
     version: RulesetVersion
     kind: str = PUBLISH
     activated: bool = True
     previous_version: Optional[int] = None
+    namespace: str = ""
 
 
 #: Subscriber callback signature.
@@ -235,9 +239,11 @@ class RulesetRegistry:
         self,
         min_atom_length: int = DEFAULT_MIN_ATOM_LENGTH,
         automaton_threshold: Optional[int] = None,
+        namespace: str = "",
     ) -> None:
         self.min_atom_length = min_atom_length
         self.automaton_threshold = automaton_threshold
+        self.namespace = namespace  # stamped on every PublishEvent
         self._lock = threading.Lock()
         self._versions: dict[int, RulesetVersion] = {}
         self._current: Optional[int] = None
@@ -338,7 +344,7 @@ class RulesetRegistry:
         self._notify(
             PublishEvent(
                 version=version, kind=kind, activated=activate,
-                previous_version=previous,
+                previous_version=previous, namespace=self.namespace,
             )
         )
         return version
@@ -500,7 +506,7 @@ class RulesetRegistry:
             self._notify(
                 PublishEvent(
                     version=target, kind=ACTIVATE, activated=True,
-                    previous_version=previous,
+                    previous_version=previous, namespace=self.namespace,
                 )
             )
         return target

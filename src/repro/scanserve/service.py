@@ -138,15 +138,22 @@ class BatchScanResult:
     def packages_per_second(self) -> float:
         return self.packages / self.elapsed_seconds if self.elapsed_seconds > 0 else 0.0
 
-    def to_dict(self) -> dict:
-        return {
+    def to_dict(self, include_detections: bool = True) -> dict:
+        """JSON-safe report of the batch.
+
+        ``include_detections=False`` is the summary mode job-status
+        payloads use: per-package detection entries are replaced by the
+        flagged package names, so a million-package batch's status stays
+        small while remaining actionable.
+        """
+        threshold = self.result.match_threshold
+        flagged = [
+            d.package for d in self.result.detections if d.predicted(threshold)
+        ]
+        data = {
             "ruleset_version": self.ruleset_version,
             "packages": self.packages,
-            "malicious": sum(
-                1
-                for d in self.result.detections
-                if d.predicted(self.result.match_threshold)
-            ),
+            "malicious": len(flagged),
             "elapsed_seconds": round(self.elapsed_seconds, 6),
             "packages_per_second": round(self.packages_per_second, 3),
             "cache_hits": self.cache_hits,
@@ -163,18 +170,26 @@ class BatchScanResult:
                 }
                 for s in self.shard_stats
             ],
-            "detections": [
+        }
+        if include_detections:
+            data["detections"] = [
                 {
                     "package": d.package,
-                    "malicious": d.predicted(self.result.match_threshold),
+                    "malicious": d.predicted(threshold),
                     "matched_rules": d.matched_rules,
                 }
                 for d in self.result.detections
-            ],
-        }
+            ]
+        else:
+            data["flagged"] = flagged
+        return data
 
-    def to_json(self, indent: int = 2) -> str:
-        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+    def to_json(self, indent: int = 2, include_detections: bool = True) -> str:
+        return json.dumps(
+            self.to_dict(include_detections=include_detections),
+            indent=indent,
+            sort_keys=True,
+        )
 
 
 @dataclass
@@ -258,10 +273,15 @@ class ScanService:
         config: Optional[ScanServiceConfig] = None,
     ) -> None:
         self.config = config or ScanServiceConfig()
-        self.registry = registry or RulesetRegistry(
-            min_atom_length=self.config.min_atom_length,
-            automaton_threshold=self.config.automaton_threshold,
-        )
+        # explicit None check: RulesetRegistry defines __len__, so an empty
+        # (freshly created, not-yet-published) registry is falsy and a bare
+        # ``registry or ...`` would silently replace it
+        if registry is None:
+            registry = RulesetRegistry(
+                min_atom_length=self.config.min_atom_length,
+                automaton_threshold=self.config.automaton_threshold,
+            )
+        self.registry = registry
         if self.config.cache_dir:
             self.cache: Union[ScanResultCache, DiskScanResultCache] = (
                 DiskScanResultCache(self.config.cache_dir, self.config.cache_entries)

@@ -1,0 +1,153 @@
+"""The gateway over real HTTP: a ThreadedGateway on a daemon thread, driven
+by the stdlib GatewayClient — status codes, 429 + Retry-After, long-poll
+events, job lifecycle and a full streaming-generation round trip."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.package import Package, PackageFile, PackageMetadata
+from repro.gateway import (
+    GatewayConfig,
+    GatewayError,
+    RateLimited,
+    TenantQuota,
+    ThreadedGateway,
+)
+from repro.yarax import compile_source
+
+NEEDLE = "gateway_http_needle"
+
+
+def _pkg(name: str, content: str) -> Package:
+    return Package(
+        name=name,
+        version="1.0",
+        metadata=PackageMetadata(name=name),
+        files=[PackageFile(path=f"{name}.py", content=content)],
+    )
+
+
+def _targets(prefix: str) -> list[Package]:
+    return [
+        _pkg(f"{prefix}-bad", f"x = '{NEEDLE}'"),
+        _pkg(f"{prefix}-ok", "def fine(): return 0"),
+    ]
+
+
+@pytest.fixture(scope="module")
+def gateway():
+    gw = ThreadedGateway(GatewayConfig(workers=2)).start()
+    yield gw
+    gw.stop()
+
+
+@pytest.fixture(scope="module")
+def client(gateway):
+    return gateway.client(timeout=30)
+
+
+def _publish_rules(gateway, tenant: str) -> None:
+    # the registry is thread-safe; publishing from the test thread exercises
+    # the hub's cross-thread trampoline exactly like an executor callback
+    gateway.app.tenant(tenant).registry.publish(
+        yara=compile_source(
+            f'rule http_gw {{ strings: $a = "{NEEDLE}" condition: $a }}'
+        ),
+        label=f"{tenant} rules",
+    )
+
+
+class TestHttpBasics:
+    def test_health(self, client):
+        health = client.health()
+        assert health["ok"] is True
+        assert health["accepting"] is True
+
+    def test_register_then_duplicate_is_409(self, client):
+        created = client.register_tenant("dup")
+        assert created["name"] == "dup"
+        with pytest.raises(GatewayError) as excinfo:
+            client.register_tenant("dup")
+        assert excinfo.value.status == 409
+        assert any(t["name"] == "dup" for t in client.tenants())
+
+    def test_unknown_job_is_404(self, client):
+        client.register_tenant("lost")
+        with pytest.raises(GatewayError) as excinfo:
+            client.job("lost", "scan-999999")
+        assert excinfo.value.status == 404
+
+    def test_empty_scan_batch_is_400(self, client):
+        client.register_tenant("empty")
+        with pytest.raises(GatewayError) as excinfo:
+            client.submit_scan("empty", [])
+        assert excinfo.value.status == 400
+
+
+class TestHttpJobs:
+    def test_scan_roundtrip_with_wire_packages(self, gateway, client):
+        client.register_tenant("acme")
+        _publish_rules(gateway, "acme")
+        job = client.submit_scan("acme", _targets("acme"), label="sweep")
+        assert job["state"] in ("queued", "running")
+        done = client.wait_job("acme", job["id"], timeout=60)
+        assert done["state"] == "done"
+        assert done["result"]["flagged"] == ["acme-bad==1.0"]
+        assert any(j["id"] == job["id"] for j in client.jobs("acme"))
+        # another tenant cannot address the job
+        client.register_tenant("rival")
+        with pytest.raises(GatewayError) as excinfo:
+            client.job("rival", job["id"])
+        assert excinfo.value.status == 404
+
+    def test_events_longpoll_sees_publish(self, gateway, client):
+        client.register_tenant("watcher")
+        _publish_rules(gateway, "watcher")
+        events = client.events("watcher", after=0, wait=5)
+        kinds = [n["kind"] for n in events["notifications"]]
+        assert "publish" in kinds
+        note = events["notifications"][kinds.index("publish")]
+        assert note["payload"]["namespace"] == "watcher"
+        assert events["cursor"] >= note["seq"]
+        # the cursor advances past everything seen: nothing new after it
+        again = client.events("watcher", after=events["cursor"])
+        assert again["notifications"] == []
+
+    def test_cancel_over_http(self, client):
+        client.register_tenant("quitter")
+        feed = client.open_generation("quitter", label="doomed")
+        cancelled = client.cancel_job("quitter", feed["id"])
+        assert cancelled["cancel_requested"] is True
+        final = client.wait_job("quitter", feed["id"], timeout=30)
+        assert final["state"] == "cancelled"
+
+    def test_streaming_generation_roundtrip(self, client, malware_packages):
+        client.register_tenant("gen")
+        feed = client.open_generation("gen", label="nightly")
+        fed = client.feed_generation("gen", feed["id"], malware_packages[:2])
+        assert fed["fed"] == 2
+        client.close_generation("gen", feed["id"])
+        done = client.wait_job("gen", feed["id"], timeout=180)
+        assert done["state"] == "done", done.get("error")
+        assert done["result"]["consumed"] == 2
+        assert done["result"]["published_version"] == 1
+        # the publish was pushed to the tenant's event stream
+        events = client.events("gen", after=0, wait=5)
+        assert any(
+            n["kind"] == "publish" and n["payload"]["version"] == 1
+            for n in events["notifications"]
+        )
+
+
+class TestHttpRateLimit:
+    def test_429_carries_retry_after(self, client):
+        client.register_tenant(
+            "tiny429", TenantQuota(capacity=1, refill_per_second=0.25)
+        )
+        client.open_generation("tiny429")  # burns the single burst token
+        with pytest.raises(RateLimited) as excinfo:
+            client.open_generation("tiny429")
+        # deficit of ~1 token at 0.25/s: close to 4s minus the real-clock
+        # refill between the two requests
+        assert 0 < excinfo.value.retry_after <= 4.0

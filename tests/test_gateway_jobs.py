@@ -1,0 +1,231 @@
+"""Job-state-machine and queue semantics: queued -> running -> terminal,
+cancellation at both stages, bounded history, graceful shutdown draining."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.gateway.jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    Job,
+    JobQueue,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def started_queue(**kwargs) -> JobQueue:
+    return await JobQueue(**kwargs).start()
+
+
+class TestJobLifecycle:
+    def test_submit_runs_to_done_with_result(self):
+        async def main():
+            queue = await started_queue()
+            async def handler(job: Job) -> dict:
+                return {"answer": 42}
+            job = queue.submit("scan", "acme", handler, label="first")
+            assert job.state == QUEUED
+            job = await queue.wait(job.id, timeout=5)
+            assert job.state == DONE
+            assert job.result == {"answer": 42}
+            assert job.started_at is not None and job.finished_at is not None
+            assert job.seconds is not None
+            await queue.shutdown()
+        run(main())
+
+    def test_handler_exception_fails_the_job_not_the_queue(self):
+        async def main():
+            queue = await started_queue()
+            async def boom(job: Job) -> dict:
+                raise ValueError("bad batch")
+            failed = queue.submit("scan", "acme", boom)
+            failed = await queue.wait(failed.id, timeout=5)
+            assert failed.state == FAILED
+            assert "ValueError: bad batch" in failed.error
+            # the queue keeps serving
+            async def ok(job: Job) -> dict:
+                return {}
+            good = await queue.wait(queue.submit("scan", "acme", ok).id, timeout=5)
+            assert good.state == DONE
+            await queue.shutdown()
+        run(main())
+
+    def test_non_dict_results_are_wrapped(self):
+        async def main():
+            queue = await started_queue()
+            async def handler(job: Job):
+                return 7
+            job = await queue.wait(queue.submit("x", "t", handler).id, timeout=5)
+            assert job.result == {"value": 7}
+            await queue.shutdown()
+        run(main())
+
+    def test_job_ids_are_unique_and_kind_prefixed(self):
+        async def main():
+            queue = await started_queue()
+            async def handler(job: Job) -> dict:
+                return {}
+            ids = [queue.submit(kind, "t", handler).id
+                   for kind in ("scan", "generate", "scan")]
+            assert len(set(ids)) == 3
+            assert ids[0].startswith("scan-") and ids[1].startswith("generate-")
+            await queue.shutdown()
+        run(main())
+
+
+class TestCancellation:
+    def test_cancel_queued_job_is_immediate(self):
+        async def main():
+            queue = await started_queue(workers=1)
+            release = asyncio.Event()
+            async def blocker(job: Job) -> dict:
+                await release.wait()
+                return {}
+            async def never(job: Job) -> dict:
+                raise AssertionError("cancelled job must not run")
+            queue.submit("scan", "t", blocker)
+            await asyncio.sleep(0.01)  # let the worker pick up the blocker
+            queued = queue.submit("scan", "t", never)
+            assert queue.cancel(queued.id)
+            waited = await queue.wait(queued.id, timeout=1)
+            assert waited.state == CANCELLED
+            release.set()
+            await queue.shutdown()
+        run(main())
+
+    def test_cancel_running_job_interrupts_it(self):
+        async def main():
+            queue = await started_queue()
+            entered = asyncio.Event()
+            async def slow(job: Job) -> dict:
+                entered.set()
+                await asyncio.sleep(60)
+                return {}
+            job = queue.submit("scan", "t", slow)
+            await asyncio.wait_for(entered.wait(), timeout=5)
+            assert job.state == RUNNING
+            assert queue.cancel(job.id)
+            job = await queue.wait(job.id, timeout=5)
+            assert job.state == CANCELLED
+            assert job.cancel_requested
+            # worker survives and serves the next job
+            async def ok(job: Job) -> dict:
+                return {}
+            after = await queue.wait(queue.submit("scan", "t", ok).id, timeout=5)
+            assert after.state == DONE
+            await queue.shutdown()
+        run(main())
+
+    def test_cancel_finished_job_returns_false(self):
+        async def main():
+            queue = await started_queue()
+            async def handler(job: Job) -> dict:
+                return {}
+            job = await queue.wait(queue.submit("scan", "t", handler).id, timeout=5)
+            assert not queue.cancel(job.id)
+            assert job.state == DONE  # unchanged
+            await queue.shutdown()
+        run(main())
+
+
+class TestHistoryAndLookup:
+    def test_terminal_history_is_bounded(self):
+        async def main():
+            queue = await started_queue(workers=1, history_limit=3)
+            async def handler(job: Job) -> dict:
+                return {}
+            jobs = [queue.submit("scan", "t", handler) for _ in range(6)]
+            for job in jobs:
+                await queue.wait(job.id, timeout=5)
+            remaining = queue.jobs()
+            assert len(remaining) == 3
+            assert [job.id for job in remaining] == [job.id for job in jobs[3:]]
+            with pytest.raises(LookupError):
+                queue.get(jobs[0].id)
+            await queue.shutdown()
+        run(main())
+
+    def test_jobs_filter_by_tenant_and_counts(self):
+        async def main():
+            queue = await started_queue()
+            async def handler(job: Job) -> dict:
+                return {}
+            a = queue.submit("scan", "acme", handler)
+            b = queue.submit("scan", "umbrella", handler)
+            await queue.wait(a.id, timeout=5)
+            await queue.wait(b.id, timeout=5)
+            assert [j.tenant for j in queue.jobs(tenant="acme")] == ["acme"]
+            assert queue.counts() == {DONE: 2}
+            await queue.shutdown()
+        run(main())
+
+    def test_wait_timeout_raises(self):
+        async def main():
+            queue = await started_queue()
+            async def slow(job: Job) -> dict:
+                await asyncio.sleep(60)
+                return {}
+            job = queue.submit("scan", "t", slow)
+            with pytest.raises(TimeoutError):
+                await queue.wait(job.id, timeout=0.05)
+            queue.cancel(job.id)
+            await queue.shutdown(drain=False)
+        run(main())
+
+
+class TestShutdown:
+    def test_drain_finishes_inflight_and_queued_jobs(self):
+        async def main():
+            queue = await started_queue(workers=1)
+            done_order: list[str] = []
+            async def handler(job: Job) -> dict:
+                await asyncio.sleep(0.01)
+                done_order.append(job.id)
+                return {}
+            jobs = [queue.submit("scan", "t", handler) for _ in range(4)]
+            await queue.shutdown(drain=True, timeout=10)
+            assert [job.state for job in jobs] == [DONE] * 4
+            assert done_order == [job.id for job in jobs]
+        run(main())
+
+    def test_shutdown_rejects_new_submissions(self):
+        async def main():
+            queue = await started_queue()
+            await queue.shutdown()
+            async def handler(job: Job) -> dict:
+                return {}
+            with pytest.raises(RuntimeError):
+                queue.submit("scan", "t", handler)
+        run(main())
+
+    def test_no_drain_cancels_queued_and_running(self):
+        async def main():
+            queue = await started_queue(workers=1)
+            entered = asyncio.Event()
+            async def slow(job: Job) -> dict:
+                entered.set()
+                await asyncio.sleep(60)
+                return {}
+            running = queue.submit("scan", "t", slow)
+            await asyncio.wait_for(entered.wait(), timeout=5)
+            queued = queue.submit("scan", "t", slow)
+            await queue.shutdown(drain=False)
+            assert running.state == CANCELLED
+            assert queued.state == CANCELLED
+        run(main())
+
+    def test_submit_before_start_is_an_error(self):
+        queue = JobQueue()
+        async def handler(job: Job) -> dict:
+            return {}
+        with pytest.raises(RuntimeError):
+            queue.submit("scan", "t", handler)

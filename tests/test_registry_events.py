@@ -1,0 +1,141 @@
+"""Edge cases of the RulesetRegistry event bus that the gateway's bridges
+lean on: re-entrant listeners (events fire outside the registry lock),
+unsubscribe during a publish callback, bounded subscriber error capture,
+and namespace stamping on every event."""
+
+from __future__ import annotations
+
+from repro.scanserve.registry import PublishEvent, RulesetRegistry
+from repro.yarax import compile_source
+
+
+def _rules(name: str = "evt", needle: str = "event_needle") -> object:
+    return compile_source(
+        f'rule {name} {{ strings: $a = "{needle}" condition: $a }}'
+    )
+
+
+class TestListenerReentrancy:
+    def test_events_fire_outside_the_registry_lock(self):
+        """A listener may re-enter the registry; if ``_notify`` ran under
+        ``_lock`` (non-reentrant), either call below would deadlock."""
+        registry = RulesetRegistry()
+        seen: list[tuple[str, list[int]]] = []
+
+        def reentrant(event: PublishEvent) -> None:
+            # both acquire the registry lock
+            seen.append((event.kind, registry.versions()))
+            assert registry._lock.acquire(blocking=False)
+            registry._lock.release()
+
+        registry.subscribe(reentrant)
+        registry.publish(yara=_rules("a"))
+        registry.publish(yara=_rules("b"), activate=False)
+        registry.activate(2)
+        assert [kind for kind, _ in seen] == ["publish", "publish", "activate"]
+        # the version swap completes before listeners run
+        assert seen[0][1] == [1]
+        assert seen[1][1] == [1, 2]
+
+    def test_listener_can_publish_from_a_callback(self):
+        """The gateway's rescan bridge can trigger follow-on publishes."""
+        registry = RulesetRegistry()
+        kinds: list[str] = []
+
+        def chaining(event: PublishEvent) -> None:
+            kinds.append(event.kind)
+            if len(registry.versions()) == 1:  # react to the first publish only
+                registry.publish(yara=_rules("chained", "chained_needle"))
+
+        registry.subscribe(chaining)
+        registry.publish(yara=_rules("base"))
+        assert kinds == ["publish", "publish"]
+        assert registry.versions() == [1, 2]
+
+
+class TestUnsubscribeDuringPublish:
+    def test_self_unsubscribe_inside_a_callback(self):
+        registry = RulesetRegistry()
+        calls: list[int] = []
+        token_box: list[int] = []
+
+        def once(event: PublishEvent) -> None:
+            calls.append(event.version.version)
+            registry.unsubscribe(token_box[0])
+
+        token_box.append(registry.subscribe(once))
+        registry.publish(yara=_rules("a"))
+        registry.publish(yara=_rules("b"))
+        assert calls == [1]  # fired exactly once, removal took effect
+        assert not registry.unsubscribe(token_box[0])  # already gone
+
+    def test_unsubscribing_a_peer_mid_publish_does_not_break_fanout(self):
+        """Mutating the subscriber table inside a callback must not disturb
+        the in-flight fan-out (listeners are snapshotted per event)."""
+        registry = RulesetRegistry()
+        fired: list[str] = []
+        tokens: dict[str, int] = {}
+
+        def assassin(event: PublishEvent) -> None:
+            fired.append("assassin")
+            registry.unsubscribe(tokens["victim"])
+
+        def victim(event: PublishEvent) -> None:
+            fired.append("victim")
+
+        tokens["assassin"] = registry.subscribe(assassin)
+        tokens["victim"] = registry.subscribe(victim)
+        registry.publish(yara=_rules("a"))
+        # the victim still saw the event that was already in flight...
+        assert fired == ["assassin", "victim"]
+        registry.publish(yara=_rules("b"))
+        # ...but none after its removal
+        assert fired == ["assassin", "victim", "assassin"]
+
+
+class TestSubscriberErrors:
+    def test_broken_subscriber_does_not_kill_the_publish(self):
+        registry = RulesetRegistry()
+        survived: list[int] = []
+
+        def broken(event: PublishEvent) -> None:
+            raise RuntimeError("subscriber bug")
+
+        registry.subscribe(broken)
+        registry.subscribe(lambda event: survived.append(event.version.version))
+        version = registry.publish(yara=_rules())
+        assert version.version == 1  # publish succeeded
+        assert survived == [1]  # later listeners still ran
+        assert registry.subscriber_errors == ["RuntimeError: subscriber bug"]
+
+    def test_subscriber_errors_stay_bounded(self):
+        registry = RulesetRegistry()
+
+        def broken(event: PublishEvent) -> None:
+            raise ValueError(f"boom v{event.version.version}")
+
+        registry.subscribe(broken)
+        for i in range(25):
+            registry.publish(yara=_rules(f"r{i}", f"needle_{i}"))
+        assert len(registry.subscriber_errors) == 20  # bounded, keeps newest
+        assert registry.subscriber_errors[-1] == "ValueError: boom v25"
+        assert registry.subscriber_errors[0] == "ValueError: boom v6"
+
+
+class TestNamespaceStamping:
+    def test_namespace_appears_on_publish_and_activate_events(self):
+        registry = RulesetRegistry(namespace="acme")
+        events: list[PublishEvent] = []
+        registry.subscribe(events.append)
+        registry.publish(yara=_rules("a"))
+        registry.publish(yara=_rules("b"), activate=False)
+        registry.activate(2)
+        assert [e.namespace for e in events] == ["acme"] * 3
+        assert [e.kind for e in events] == ["publish", "publish", "activate"]
+
+    def test_default_namespace_is_empty(self):
+        registry = RulesetRegistry()
+        events: list[PublishEvent] = []
+        registry.subscribe(events.append)
+        registry.publish(yara=_rules())
+        assert events[0].namespace == ""

@@ -463,6 +463,25 @@ class TestScanService:
             report["detections"][0]
         )
 
+    def test_to_dict_summary_mode_replaces_detections_with_flagged(
+        self, service, small_dataset
+    ):
+        batch = service.scan_batch(small_dataset.packages)
+        full = batch.to_dict()
+        summary = batch.to_dict(include_detections=False)
+        assert "detections" not in summary
+        assert "flagged" in summary and "flagged" not in full
+        # the flagged list is exactly the malicious predictions of full mode
+        assert summary["flagged"] == [
+            d["package"] for d in full["detections"] if d["malicious"]
+        ]
+        assert summary["malicious"] == len(summary["flagged"]) == full["malicious"]
+        # the telemetry envelope is identical either way
+        for key in ("ruleset_version", "packages", "cache_hits", "mode", "shards"):
+            assert summary[key] == full[key]
+        # summary mode is what gateway job payloads embed: it must stay small
+        assert json.loads(batch.to_json(include_detections=False)) == summary
+
     def test_match_threshold_respected(self, generated_rules, small_dataset):
         svc = ScanService(
             config=ScanServiceConfig(mode="inprocess", match_threshold=99)
