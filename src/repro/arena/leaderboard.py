@@ -1,0 +1,228 @@
+"""Persistent per-rule leaderboard with trend history and rank deltas.
+
+The leaderboard is the arena's memory: every round folds its
+:class:`~repro.arena.scoring.RuleScore` s in, entries keyed by
+``(registry namespace, rule name)`` so multi-tenant gateways share one
+board without collisions.  Each entry keeps a bounded score trend (the
+last ``trend_limit`` rounds), its best score, the round it last competed
+in, and its rank before/after the latest fold — the rank delta is what a
+human watches to spot decay before the lifecycle policy acts.
+
+Ranking is deterministic: score descending, ties broken by rule name then
+namespace, scores compared at 9 decimal places so float noise cannot make
+two runs disagree.
+
+Persistence is JSON-on-disk with an atomic replace (write to a sibling
+temp file, ``os.replace`` over the target), so a crashed runner never
+leaves a half-written board and a restarted runner reloads rank history
+and trends exactly where they stood.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Tuple
+
+from repro.arena.scoring import RuleScore
+
+#: Entry statuses mirrored from the lifecycle tracker.
+ACTIVE = "active"
+FLAGGED = "flagged"
+QUARANTINED = "quarantined"
+RETIRED = "retired"
+
+
+@dataclass
+class LeaderboardEntry:
+    """One rule's standing on the board."""
+
+    namespace: str
+    rule: str
+    score: float = 0.0
+    best_score: float = 0.0
+    rounds: int = 0
+    rank: int = 0
+    previous_rank: int = 0  # 0: never ranked before
+    status: str = ACTIVE
+    last_round: int = -1
+    trend: List[float] = field(default_factory=list)
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        return (self.namespace, self.rule)
+
+    @property
+    def rank_delta(self) -> int:
+        """Positive = climbed since the previous round, negative = dropped."""
+        if not self.previous_rank or not self.rank:
+            return 0
+        return self.previous_rank - self.rank
+
+    def to_dict(self) -> dict:
+        return {
+            "namespace": self.namespace,
+            "rule": self.rule,
+            "score": round(self.score, 6),
+            "best_score": round(self.best_score, 6),
+            "rounds": self.rounds,
+            "rank": self.rank,
+            "previous_rank": self.previous_rank,
+            "rank_delta": self.rank_delta,
+            "status": self.status,
+            "last_round": self.last_round,
+            "trend": [round(value, 6) for value in self.trend],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LeaderboardEntry":
+        return cls(
+            namespace=str(data.get("namespace", "")),
+            rule=str(data["rule"]),
+            score=float(data.get("score", 0.0)),
+            best_score=float(data.get("best_score", 0.0)),
+            rounds=int(data.get("rounds", 0)),
+            rank=int(data.get("rank", 0)),
+            previous_rank=int(data.get("previous_rank", 0)),
+            status=str(data.get("status", ACTIVE)),
+            last_round=int(data.get("last_round", -1)),
+            trend=[float(value) for value in data.get("trend", [])],
+        )
+
+    def describe(self) -> str:
+        delta = self.rank_delta
+        arrow = "=" if not delta else (f"+{delta}" if delta > 0 else str(delta))
+        where = f"{self.namespace}/" if self.namespace else ""
+        flag = f" [{self.status}]" if self.status != ACTIVE else ""
+        trend = " ".join(f"{value:.2f}" for value in self.trend[-4:])
+        return (
+            f"#{self.rank} ({arrow}) {where}{self.rule}: "
+            f"{self.score:.3f} (best {self.best_score:.3f}, "
+            f"{self.rounds} rounds, trend {trend}){flag}"
+        )
+
+
+class Leaderboard:
+    """In-memory board, optionally mirrored to a JSON file."""
+
+    def __init__(
+        self, path: Optional[os.PathLike] = None, trend_limit: int = 32
+    ) -> None:
+        if trend_limit < 1:
+            raise ValueError("trend_limit must be >= 1")
+        self.path = Path(path) if path is not None else None
+        self.trend_limit = trend_limit
+        self.rounds_recorded = 0
+        self._entries: dict[Tuple[str, str], LeaderboardEntry] = {}
+        if self.path is not None and self.path.exists():
+            self._load(self.path)
+
+    # -- folding --------------------------------------------------------------------
+    def record_round(
+        self,
+        scores: Iterable[RuleScore],
+        round_index: int,
+        namespace: str = "",
+    ) -> List[LeaderboardEntry]:
+        """Fold one round's verdicts in, re-rank, and persist.
+
+        Entries not covered by ``scores`` (rules of other namespaces or of
+        retired versions) keep their standing and are re-ranked against
+        the fresh scores.  Returns the full board in rank order.
+        """
+        for verdict in scores:
+            key = (namespace, verdict.rule)
+            entry = self._entries.get(key)
+            if entry is None:
+                entry = LeaderboardEntry(namespace=namespace, rule=verdict.rule)
+                self._entries[key] = entry
+            entry.score = verdict.score
+            entry.best_score = max(entry.best_score, verdict.score)
+            entry.rounds += 1
+            entry.last_round = round_index
+            entry.trend.append(verdict.score)
+            del entry.trend[: -self.trend_limit]
+        self.rounds_recorded += 1
+        self._rerank()
+        self.save()
+        return self.rankings()
+
+    def _rerank(self) -> None:
+        ordered = sorted(
+            self._entries.values(),
+            key=lambda e: (-round(e.score, 9), e.rule, e.namespace),
+        )
+        for position, entry in enumerate(ordered, start=1):
+            entry.previous_rank = entry.rank
+            entry.rank = position
+
+    # -- lookups --------------------------------------------------------------------
+    def entry(self, namespace: str, rule: str) -> Optional[LeaderboardEntry]:
+        return self._entries.get((namespace, rule))
+
+    def set_status(self, namespace: str, rule: str, status: str) -> bool:
+        entry = self._entries.get((namespace, rule))
+        if entry is None:
+            return False
+        entry.status = status
+        return True
+
+    def rankings(
+        self, namespace: Optional[str] = None, limit: Optional[int] = None
+    ) -> List[LeaderboardEntry]:
+        ordered = sorted(self._entries.values(), key=lambda e: e.rank)
+        if namespace is not None:
+            ordered = [e for e in ordered if e.namespace == namespace]
+        return ordered[:limit] if limit is not None else ordered
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def describe(self, limit: int = 10) -> str:
+        lines = [entry.describe() for entry in self.rankings(limit=limit)]
+        return "\n".join(lines) if lines else "(empty leaderboard)"
+
+    # -- persistence -----------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "trend_limit": self.trend_limit,
+            "rounds_recorded": self.rounds_recorded,
+            "entries": [entry.to_dict() for entry in self.rankings()],
+        }
+
+    def save(self, path: Optional[os.PathLike] = None) -> Optional[Path]:
+        """Atomically write the board; no-op without a path."""
+        target = Path(path) if path is not None else self.path
+        if target is None:
+            return None
+        target.parent.mkdir(parents=True, exist_ok=True)
+        scratch = target.with_name(target.name + ".tmp")
+        scratch.write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        os.replace(scratch, target)
+        return target
+
+    def _load(self, path: Path) -> None:
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ValueError(f"unreadable leaderboard file {path}: {exc}") from exc
+        self.rounds_recorded = int(data.get("rounds_recorded", 0))
+        for raw in data.get("entries", []):
+            entry = LeaderboardEntry.from_dict(raw)
+            del entry.trend[: -self.trend_limit]
+            self._entries[entry.key] = entry
+
+
+__all__ = [
+    "ACTIVE",
+    "FLAGGED",
+    "Leaderboard",
+    "LeaderboardEntry",
+    "QUARANTINED",
+    "RETIRED",
+]

@@ -1,0 +1,263 @@
+"""Policy-driven rule lifecycle: flag, quarantine, retire, refeed.
+
+A rule whose score sits below the decay threshold for one round is noise;
+for several *consecutive* rounds it is a liability.  The
+:class:`LifecycleTracker` walks every rule through
+
+    active -> flagged -> quarantined -> retired
+
+as its consecutive-decay counter crosses the policy's escalation points,
+and emits a typed :class:`LifecycleAction` at each transition (plus a
+``recover`` action when a decayed rule climbs back over the threshold,
+which resets the walk).  Retirement is terminal per rule name.
+
+The other half of the loop is the :class:`RefinementCorpus`: every
+malicious package the *whole ruleset* failed to flag in a round is
+collected (deduplicated by content signature, bounded FIFO).  When
+retirement fires, :func:`refine_rules` feeds those misses back through a
+:class:`~repro.api.session.GenerationSession` — the generate→scan→
+evaluate→regenerate loop the paper runs by hand, closed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.arena.scoring import RuleScore
+from repro.corpus.package import Package
+from repro.evaluation.detector import DetectionResult
+
+ACTIVE = "active"
+FLAGGED = "flagged"
+QUARANTINED = "quarantined"
+RETIRED = "retired"
+
+FLAG = "flag"
+QUARANTINE = "quarantine"
+RETIRE = "retire"
+RECOVER = "recover"
+
+
+@dataclass(frozen=True)
+class LifecyclePolicy:
+    """Escalation schedule over consecutive decayed rounds."""
+
+    decay_threshold: float = 0.4
+    flag_after: int = 1
+    quarantine_after: int = 2
+    retire_after: int = 3
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.decay_threshold <= 1.0:
+            raise ValueError("decay_threshold must be in [0, 1]")
+        if not 1 <= self.flag_after <= self.quarantine_after <= self.retire_after:
+            raise ValueError(
+                "escalation must satisfy 1 <= flag_after <= quarantine_after"
+                " <= retire_after"
+            )
+
+    def status_for(self, consecutive_decays: int) -> str:
+        if consecutive_decays >= self.retire_after:
+            return RETIRED
+        if consecutive_decays >= self.quarantine_after:
+            return QUARANTINED
+        if consecutive_decays >= self.flag_after:
+            return FLAGGED
+        return ACTIVE
+
+
+@dataclass
+class RuleHealth:
+    """One rule's position in the lifecycle walk."""
+
+    rule: str
+    status: str = ACTIVE
+    consecutive_decays: int = 0
+    last_score: float = 0.0
+
+
+@dataclass
+class LifecycleAction:
+    """One transition the tracker decided on."""
+
+    rule: str
+    action: str  # flag | quarantine | retire | recover
+    round_index: int
+    score: float
+    reason: str
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "action": self.action,
+            "round_index": self.round_index,
+            "score": round(self.score, 6),
+            "reason": self.reason,
+        }
+
+    def describe(self) -> str:
+        return f"round {self.round_index}: {self.action} {self.rule} ({self.reason})"
+
+
+_STATUS_TO_ACTION = {FLAGGED: FLAG, QUARANTINED: QUARANTINE, RETIRED: RETIRE}
+
+
+class LifecycleTracker:
+    """Walks every scored rule through the lifecycle, round by round."""
+
+    def __init__(self, policy: Optional[LifecyclePolicy] = None) -> None:
+        self.policy = policy or LifecyclePolicy()
+        self._health: Dict[str, RuleHealth] = {}
+
+    def observe(
+        self, scores: Iterable[RuleScore], round_index: int
+    ) -> List[LifecycleAction]:
+        """Fold one round's verdicts in; return the transitions they caused."""
+        actions: List[LifecycleAction] = []
+        for verdict in scores:
+            health = self._health.setdefault(verdict.rule, RuleHealth(verdict.rule))
+            health.last_score = verdict.score
+            if health.status == RETIRED:  # terminal: no resurrection
+                continue
+            if verdict.score < self.policy.decay_threshold:
+                health.consecutive_decays += 1
+                target = self.policy.status_for(health.consecutive_decays)
+                if target != health.status:
+                    health.status = target
+                    actions.append(
+                        LifecycleAction(
+                            rule=verdict.rule,
+                            action=_STATUS_TO_ACTION[target],
+                            round_index=round_index,
+                            score=verdict.score,
+                            reason=(
+                                f"score {verdict.score:.3f} < "
+                                f"{self.policy.decay_threshold:g} for "
+                                f"{health.consecutive_decays} consecutive round(s)"
+                            ),
+                        )
+                    )
+            elif health.consecutive_decays:
+                recovered_from = health.status
+                health.consecutive_decays = 0
+                health.status = ACTIVE
+                if recovered_from != ACTIVE:
+                    actions.append(
+                        LifecycleAction(
+                            rule=verdict.rule,
+                            action=RECOVER,
+                            round_index=round_index,
+                            score=verdict.score,
+                            reason=(
+                                f"score {verdict.score:.3f} back over "
+                                f"{self.policy.decay_threshold:g} "
+                                f"(was {recovered_from})"
+                            ),
+                        )
+                    )
+        return actions
+
+    # -- introspection ---------------------------------------------------------------
+    def health(self, rule: str) -> Optional[RuleHealth]:
+        return self._health.get(rule)
+
+    def statuses(self) -> Dict[str, str]:
+        return {rule: health.status for rule, health in sorted(self._health.items())}
+
+    def retired_rules(self) -> List[str]:
+        return sorted(
+            rule for rule, health in self._health.items() if health.status == RETIRED
+        )
+
+
+class RefinementCorpus:
+    """Missed malicious packages, deduplicated and bounded (FIFO)."""
+
+    def __init__(self, limit: int = 256) -> None:
+        if limit < 1:
+            raise ValueError("limit must be >= 1")
+        self.limit = limit
+        self._packages: Dict[str, Package] = {}  # content signature -> package
+
+    def collect_missed(
+        self, result: DetectionResult, packages: Iterable[Package]
+    ) -> int:
+        """Add every malicious package the scan failed to flag.
+
+        Detections carry only the package *identifier*, so the scanned
+        ``packages`` (raw or :class:`~repro.evaluation.detector.
+        PreparedPackage`-wrapped) are needed to recover the content.
+        """
+        by_identifier: Dict[str, Package] = {}
+        for item in packages:
+            package = getattr(item, "package", item)  # unwrap PreparedPackage
+            by_identifier[package.identifier] = package
+        added = 0
+        for detection in result.detections:
+            package = by_identifier.get(detection.package)
+            if package is None or not detection.actual_malicious:
+                continue
+            if detection.predicted(result.match_threshold):
+                continue
+            if self.add(package):
+                added += 1
+        return added
+
+    def add(self, package: Package) -> bool:
+        signature = package.signature
+        if signature in self._packages:
+            return False
+        self._packages[signature] = package
+        while len(self._packages) > self.limit:  # FIFO eviction
+            oldest = next(iter(self._packages))
+            del self._packages[oldest]
+        return True
+
+    def packages(self) -> List[Package]:
+        return list(self._packages.values())
+
+    def drain(self) -> List[Package]:
+        """Return everything collected and reset the corpus."""
+        drained = list(self._packages.values())
+        self._packages.clear()
+        return drained
+
+    def __len__(self) -> int:
+        return len(self._packages)
+
+
+def refine_rules(packages: List[Package], config=None, provider=None, label: str = "arena-refit"):
+    """Generate fresh rules from a refinement corpus.
+
+    Runs the full stage chain of a :class:`~repro.api.session.
+    GenerationSession` over the missed packages *without* a registry bound
+    — the caller decides how the refined rules are published (the arena
+    merges them with the surviving rules of the retired version).  Returns
+    the session's :class:`~repro.api.session.SessionResult`.
+    """
+    from repro.api.session import GenerationSession  # deferred: avoid cycle
+
+    if not packages:
+        raise ValueError("refinement corpus is empty")
+    session = GenerationSession(config=config, provider=provider, registry=None)
+    session.add_batch(packages)
+    return session.generate(label=label)
+
+
+__all__ = [
+    "ACTIVE",
+    "FLAG",
+    "FLAGGED",
+    "LifecycleAction",
+    "LifecyclePolicy",
+    "LifecycleTracker",
+    "QUARANTINE",
+    "QUARANTINED",
+    "RECOVER",
+    "RETIRE",
+    "RETIRED",
+    "RefinementCorpus",
+    "RuleHealth",
+    "refine_rules",
+]

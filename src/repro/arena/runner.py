@@ -1,0 +1,405 @@
+"""`ArenaRunner` — the standing service that makes rules earn their keep.
+
+One *round* is the whole quality loop over one ruleset version:
+
+1. **replay** — stream a seeded traffic round (adversarial variants +
+   benign packages) through the version, chunk by chunk, via
+   :meth:`~repro.scanserve.service.ScanService.scan_batch`;
+2. **score** — fold the chunk results into per-rule verdicts under the
+   configured scoring policy (:mod:`repro.arena.scoring`);
+3. **rank** — fold the verdicts into the persistent leaderboard
+   (:mod:`repro.arena.leaderboard`);
+4. **retire** — walk the lifecycle tracker; when a rule crosses the
+   retire threshold, publish a successor version *without* it and stamp a
+   :class:`~repro.scanserve.registry.RetirementRecord` onto the decayed
+   version;
+5. **refeed** — the round's missed malicious packages (collected across
+   rounds in the :class:`~repro.arena.lifecycle.RefinementCorpus`) go
+   back through a generation session; the refined rules are merged with
+   the survivors into the successor publish.
+
+The runner can be driven synchronously (:meth:`run_round`) or subscribe
+to the registry's :class:`~repro.scanserve.registry.PublishEvent` bus
+(:meth:`start`): every *activated* publish is queued and scored by a
+worker thread, so a generation fleet's publishes enter the arena with
+zero glue.  :meth:`stop` drains the queue by default before the worker
+exits.
+
+Successor publishes need the retired version's rule *sources* (compiled
+versions keep only matchers).  Callers that publish through a session or
+orchestrator hand the rule set over via :meth:`register_sources`; without
+sources the successor carries the refined rules alone.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from json import dumps as json_dumps
+from pathlib import Path
+from typing import List, Optional
+
+from repro.arena.leaderboard import Leaderboard
+from repro.arena.lifecycle import (
+    RETIRE,
+    LifecycleAction,
+    LifecyclePolicy,
+    LifecycleTracker,
+    RefinementCorpus,
+    refine_rules,
+)
+from repro.arena.scoring import (
+    RuleScore,
+    context_for_batches,
+    fold_batches,
+    score_rules,
+)
+from repro.arena.traffic import ReplayTraffic
+from repro.scanserve.registry import (
+    PublishEvent,
+    RulesetVersion,
+    merge_shard_rulesets,
+)
+from repro.scanserve.service import ScanService
+
+_STOP = object()  # worker-queue sentinel
+
+
+@dataclass
+class ArenaConfig:
+    """Knobs of the standing arena."""
+
+    policy: str = "weighted"
+    history_limit: int = 32  # rounds kept in memory / in the history file
+    refeed: bool = True  # regenerate from misses when retirement fires
+    refeed_min_packages: int = 1
+    coverage_saturation: int = 3  # forwarded to the weighted policy
+    model: str = "gpt-4o"  # generation profile of refeed sessions
+    seed: int = 1633
+
+    def __post_init__(self) -> None:
+        if self.history_limit < 1:
+            raise ValueError("history_limit must be >= 1")
+        if self.refeed_min_packages < 1:
+            raise ValueError("refeed_min_packages must be >= 1")
+
+
+@dataclass
+class ArenaRound:
+    """Everything one round decided."""
+
+    index: int
+    version: int
+    policy: str
+    packages: int = 0
+    malicious: int = 0
+    benign: int = 0
+    missed_collected: int = 0
+    scores: List[RuleScore] = field(default_factory=list)
+    actions: List[LifecycleAction] = field(default_factory=list)
+    retired_version: Optional[int] = None
+    refeed_version: Optional[int] = None
+    elapsed_seconds: float = 0.0
+
+    @property
+    def retired_rules(self) -> List[str]:
+        return sorted(a.rule for a in self.actions if a.action == RETIRE)
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "version": self.version,
+            "policy": self.policy,
+            "packages": self.packages,
+            "malicious": self.malicious,
+            "benign": self.benign,
+            "missed_collected": self.missed_collected,
+            "scores": [s.to_dict() for s in self.scores],
+            "actions": [a.to_dict() for a in self.actions],
+            "retired_rules": self.retired_rules,
+            "retired_version": self.retired_version,
+            "refeed_version": self.refeed_version,
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+        }
+
+    def describe(self) -> str:
+        top = self.scores[0].describe() if self.scores else "no rules"
+        extras = []
+        if self.retired_rules:
+            extras.append(f"retired {', '.join(self.retired_rules)}")
+        if self.refeed_version is not None:
+            extras.append(f"refeed -> v{self.refeed_version}")
+        suffix = f" [{'; '.join(extras)}]" if extras else ""
+        return (
+            f"round {self.index} v{self.version}: {self.packages} pkgs "
+            f"({self.malicious} malicious), top {top}{suffix}"
+        )
+
+
+class ArenaRunner:
+    """Continuous rule-quality rounds over a scan service's registry."""
+
+    def __init__(
+        self,
+        service: ScanService,
+        traffic: ReplayTraffic,
+        leaderboard: Optional[Leaderboard] = None,
+        policy: Optional[LifecyclePolicy] = None,
+        config: Optional[ArenaConfig] = None,
+        history_path: Optional[Path] = None,
+        provider=None,
+    ) -> None:
+        self.service = service
+        self.registry = service.registry
+        self.traffic = traffic
+        # explicit None check: an empty Leaderboard is falsy (it has __len__)
+        self.leaderboard = leaderboard if leaderboard is not None else Leaderboard()
+        self.config = config or ArenaConfig()
+        self.tracker = LifecycleTracker(policy)
+        self.corpus = RefinementCorpus()
+        self.history: List[ArenaRound] = []
+        self.history_path = Path(history_path) if history_path else None
+        self._provider = provider  # refeed sessions reuse one LLM provider
+        self._sources: dict[int, object] = {}  # version -> GeneratedRuleSet
+        self._round_counter = 0
+        self._round_lock = threading.Lock()
+        self._pending: "queue.Queue" = queue.Queue()
+        self._thread: Optional[threading.Thread] = None
+        self._token: Optional[int] = None
+        self._drain = True
+        self._suppress_events = False  # arena's own refeed publishes
+
+    # -- sources ----------------------------------------------------------------------
+    def register_sources(self, version: int, ruleset) -> None:
+        """Remember the generated rule set behind a published version.
+
+        Needed to publish a successor *minus* retired rules: compiled
+        versions keep matchers, not sources.
+        """
+        self._sources[version] = ruleset
+
+    # -- auto mode: the registry event bus --------------------------------------------
+    def start(self) -> "ArenaRunner":
+        """Subscribe to the publish bus and score activations on a worker."""
+        if self._thread is not None:
+            raise RuntimeError("arena runner already started")
+        self._token = self.registry.subscribe(self._on_event)
+        self._thread = threading.Thread(
+            target=self._worker, name="arena-runner", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _on_event(self, event: PublishEvent) -> None:
+        if not event.activated or self._suppress_events:
+            return
+        self._pending.put(event.version.version)
+
+    def _worker(self) -> None:
+        while True:
+            item = self._pending.get()
+            if item is _STOP:
+                if self._drain:
+                    while True:
+                        try:
+                            leftover = self._pending.get_nowait()
+                        except queue.Empty:
+                            break
+                        if leftover is not _STOP:
+                            self._run_safely(leftover)
+                return
+            self._run_safely(item)
+
+    def _run_safely(self, version: int) -> None:
+        try:
+            self.run_round(version)
+        except Exception:  # a broken round must not kill the worker
+            pass
+
+    def stop(self, drain: bool = True, timeout: float = 60.0) -> None:
+        """Unsubscribe and stop the worker, draining queued rounds by default."""
+        if self._token is not None:
+            self.registry.unsubscribe(self._token)
+            self._token = None
+        if self._thread is None:
+            return
+        self._drain = drain
+        self._pending.put(_STOP)
+        self._thread.join(timeout)
+        self._thread = None
+
+    @property
+    def pending_rounds(self) -> int:
+        return self._pending.qsize()
+
+    # -- one round ---------------------------------------------------------------------
+    def run_round(self, version: Optional[int] = None) -> ArenaRound:
+        """Replay, score, rank and (maybe) retire one version. Thread-safe."""
+        with self._round_lock:
+            return self._round(version)
+
+    def _round(self, version: Optional[int]) -> ArenaRound:
+        started = time.perf_counter()
+        target = (
+            self.registry.current() if version is None else self.registry.get(version)
+        )
+        rule_names = _rule_names(target)
+        index = self._round_counter
+        self._round_counter += 1
+
+        batches = []
+        missed = 0
+        for chunk in self.traffic.round_chunks(index):
+            batch = self.service.scan_batch(
+                chunk, version=target.version, record_recency=False
+            )
+            batches.append(batch)
+            missed += self.corpus.collect_missed(batch.result, chunk)
+
+        stats = fold_batches(batches, rule_names)
+        context = context_for_batches(
+            batches,
+            round_index=index,
+            coverage_saturation=self.config.coverage_saturation,
+        )
+        scores = score_rules(stats, policy=self.config.policy, context=context)
+        actions = self.tracker.observe(scores, index)
+        self.leaderboard.record_round(
+            scores, index, namespace=self.registry.namespace
+        )
+        for action in actions:
+            self.leaderboard.set_status(
+                self.registry.namespace, action.rule, _status_of(action)
+            )
+        if actions:  # record_round saved before the status updates landed
+            self.leaderboard.save()
+
+        record = ArenaRound(
+            index=index,
+            version=target.version,
+            policy=self.config.policy,
+            packages=sum(b.packages for b in batches),
+            malicious=context.malicious_packages,
+            benign=context.benign_packages,
+            missed_collected=missed,
+            scores=scores,
+            actions=actions,
+        )
+        retired = [a for a in actions if a.action == RETIRE]
+        if retired and self.config.refeed:
+            record.refeed_version, record.retired_version = self._refeed(
+                target, [a.rule for a in retired], index
+            )
+        record.elapsed_seconds = time.perf_counter() - started
+        self.history.append(record)
+        del self.history[: -self.config.history_limit]
+        self._persist_history()
+        return record
+
+    # -- retire + refeed --------------------------------------------------------------
+    def _refeed(
+        self, target: RulesetVersion, retired_rules: List[str], round_index: int
+    ) -> tuple[Optional[int], Optional[int]]:
+        """Publish a successor without the retired rules, refined on misses.
+
+        Returns ``(refeed version, retired version)`` — both ``None`` when
+        no successor could be built (no sources *and* no refined rules).
+        """
+        from repro.core.config import RuleLLMConfig  # deferred: pipeline layer
+        from repro.core.rules import GeneratedRuleSet
+
+        kept = None
+        source = self._sources.get(target.version)
+        if source is not None:
+            kept = GeneratedRuleSet(model=getattr(source, "model", ""))
+            for rule in source.rules:
+                if rule.name not in set(retired_rules):
+                    kept.add(rule)
+
+        refined = None
+        if len(self.corpus) >= self.config.refeed_min_packages:
+            missed = self.corpus.drain()
+            result = refine_rules(
+                missed,
+                config=RuleLLMConfig.full(
+                    model=self.config.model, seed=self.config.seed
+                ),
+                provider=self._provider,
+                label=f"arena-refit-r{round_index}",
+            )
+            if result.rule_set.rules:
+                refined = result.rule_set
+
+        label = f"arena-refit-r{round_index}"
+        self._suppress_events = True  # don't score our own publish recursively
+        try:
+            if kept is not None and kept.rules and refined is not None:
+                merged, provenance = merge_shard_rulesets(
+                    [("kept", kept), ("refit", refined)]
+                )
+                successor = self.registry.publish_merged_set(
+                    merged, provenance, label=label
+                )
+                self._sources[successor.version] = merged
+            elif refined is not None:
+                successor = self.registry.publish_generated(refined, label=label)
+                self._sources[successor.version] = refined
+            elif kept is not None and kept.rules:
+                successor = self.registry.publish_generated(kept, label=label)
+                self._sources[successor.version] = kept
+            else:
+                return None, None
+        finally:
+            self._suppress_events = False
+
+        shown = sorted(retired_rules)
+        listed = ", ".join(shown[:4])
+        if len(shown) > 4:
+            listed += f" (+{len(shown) - 4} more)"
+        try:
+            self.registry.retire(
+                target.version,
+                reason=(
+                    f"score decay in {listed}; superseded by v{successor.version}"
+                ),
+                retired_by="arena",
+            )
+            retired_version: Optional[int] = target.version
+        except ValueError:  # the decayed version is still live (not activated over)
+            retired_version = None
+        return successor.version, retired_version
+
+    # -- persistence ------------------------------------------------------------------
+    def _persist_history(self) -> None:
+        if self.history_path is None:
+            return
+        self.history_path.parent.mkdir(parents=True, exist_ok=True)
+        scratch = self.history_path.with_name(self.history_path.name + ".tmp")
+        payload = {"rounds": [record.to_dict() for record in self.history]}
+        scratch.write_text(
+            json_dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        scratch.replace(self.history_path)
+
+
+def _rule_names(version: RulesetVersion) -> List[str]:
+    names: List[str] = []
+    if version.yara is not None:
+        names.extend(version.yara.rule_names())
+    if version.semgrep is not None:
+        names.extend(version.semgrep.rule_ids())
+    return names
+
+
+def _status_of(action: LifecycleAction) -> str:
+    return {
+        "flag": "flagged",
+        "quarantine": "quarantined",
+        "retire": "retired",
+        "recover": "active",
+    }[action.action]
+
+
+__all__ = ["ArenaConfig", "ArenaRound", "ArenaRunner"]

@@ -1,6 +1,6 @@
 """Command-line interface (``rulellm``).
 
-Nine subcommands cover the common workflows:
+Ten subcommands cover the common workflows:
 
 ``rulellm generate``
     Build a synthetic corpus (or load unpacked packages from a directory),
@@ -49,7 +49,15 @@ Nine subcommands cover the common workflows:
 ``rulellm client``
     Talk to a running gateway: submit scan jobs and generation feeds
     (from package directories or a synthetic corpus), await or poll job
-    status, cancel jobs, and read the tenant's notification stream.
+    status, cancel jobs, read the tenant's notification stream, and pull
+    the operational metrics snapshot.
+
+``rulellm arena``
+    The continuous rule-quality arena (:mod:`repro.arena`): publish a
+    baseline ruleset, replay seeded adversarial + benign traffic rounds
+    against it, score and rank every rule on a persistent leaderboard,
+    auto-retire decayed rules, and refeed the misses through a generation
+    session.  ``leaderboard`` / ``history`` inspect a saved state dir.
 """
 
 from __future__ import annotations
@@ -172,6 +180,62 @@ def _add_registry(subparsers) -> None:
     retire_parser = actions.add_parser("retire", help="delete a non-active version")
     retire_parser.add_argument("dir")
     retire_parser.add_argument("version", type=int)
+    retire_parser.add_argument("--reason", default="",
+                               help="why the version is retired (stamped into the "
+                                    "RETIRED.json tombstone file)")
+    retire_parser.add_argument("--by", default="", dest="retired_by",
+                               help="who retired it (operator name or automation id)")
+
+
+def _add_arena(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "arena",
+        help="continuous rule-quality arena: replay, score, rank, retire, refeed",
+    )
+    actions = parser.add_subparsers(dest="arena_command", required=True)
+
+    run = actions.add_parser(
+        "run", help="publish a baseline and run scored traffic rounds against it"
+    )
+    run.add_argument("--scale", type=float, default=0.02,
+                     help="synthetic corpus scale (default 0.02)")
+    run.add_argument("--seed", type=int, default=1633)
+    run.add_argument("--model", default="gpt-4o",
+                     help="model profile for baseline and refeed generation")
+    run.add_argument("--rounds", type=int, default=3,
+                     help="traffic rounds to run (default 3)")
+    run.add_argument("--policy", default="weighted",
+                     help="scoring policy: strict | lenient | weighted (default)")
+    run.add_argument("--packages-per-round", type=int, default=16)
+    run.add_argument("--decay-threshold", type=float, default=0.4,
+                     help="score below this counts as a decayed round (default 0.4)")
+    run.add_argument("--retire-after", type=int, default=2,
+                     help="consecutive decayed rounds before auto-retire (default 2)")
+    run.add_argument("--obfuscation-step", type=float, default=0.5,
+                     help="per-round increase of the variant obfuscation "
+                          "probability (default 0.5: round 0 replays plain, "
+                          "later rounds mostly wrapped)")
+    run.add_argument("--no-refeed", action="store_true",
+                     help="retire decayed rules without regenerating from misses")
+    run.add_argument("--state-dir", default=None,
+                     help="persist leaderboard.json + rounds.json here (the files "
+                          "'rulellm arena leaderboard/history' read)")
+    run.add_argument("--json", default=None,
+                     help="write the full arena report to this file")
+
+    board = actions.add_parser(
+        "leaderboard", help="show a saved leaderboard (see 'arena run --state-dir')"
+    )
+    board.add_argument("state_dir", help="state dir written by 'arena run'")
+    board.add_argument("--limit", type=int, default=10)
+    board.add_argument("--json", default=None)
+
+    history = actions.add_parser(
+        "history", help="show the saved round history of a state dir"
+    )
+    history.add_argument("state_dir")
+    history.add_argument("--limit", type=int, default=10)
+    history.add_argument("--json", default=None)
 
 
 def _add_serve(subparsers) -> None:
@@ -213,6 +277,12 @@ def _add_client(subparsers) -> None:
     actions = parser.add_subparsers(dest="client_command", required=True)
 
     actions.add_parser("health", help="gateway liveness and job counts")
+
+    metrics = actions.add_parser(
+        "metrics", help="operational snapshot: per-tenant queues, quotas, rejections"
+    )
+    metrics.add_argument("--json", default=None,
+                         help="write the metrics document to this file")
 
     def corpus_args(sub):
         sub.add_argument("tenant", help="tenant name")
@@ -600,6 +670,31 @@ def _cmd_orchestrate(args) -> int:
 
 # -- on-disk registry directories ---------------------------------------------------
 _ACTIVE_MARKER = "ACTIVE"
+_RETIRED_FILE = "RETIRED.json"
+
+
+def _registry_dir_tombstones(root: Path) -> list[dict]:
+    """Retirement records of an on-disk registry (empty when none)."""
+    import json as json_module
+
+    try:
+        records = json_module.loads(
+            (root / _RETIRED_FILE).read_text(encoding="utf-8")
+        )
+    except (OSError, ValueError):
+        return []
+    return records if isinstance(records, list) else []
+
+
+def _registry_dir_add_tombstone(root: Path, record: dict) -> None:
+    import json as json_module
+
+    records = _registry_dir_tombstones(root)
+    records.append(record)
+    (root / _RETIRED_FILE).write_text(
+        json_module.dumps(records, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
 
 
 def _registry_dir_versions(root: Path) -> dict[int, Path]:
@@ -658,6 +753,10 @@ def _cmd_registry(args) -> int:
                 f"{marker} v{version}: {published.rule_count} rules, "
                 f"{stats.atoms} atoms, {stats.indexed_fraction:.0%} indexed"
             )
+        for record in _registry_dir_tombstones(root):
+            by = f" by {record['retired_by']}" if record.get("retired_by") else ""
+            why = f": {record['reason']}" if record.get("reason") else ""
+            print(f"x v{record['version']} retired{by}{why}")
         return 0
 
     if args.version not in versions:
@@ -677,9 +776,19 @@ def _cmd_registry(args) -> int:
                   file=sys.stderr)
             return 1
         import shutil
+        import time
 
+        ruleset = GeneratedRuleSet.load(versions[args.version])
+        _registry_dir_add_tombstone(root, {
+            "version": args.version,
+            "reason": args.reason,
+            "retired_by": args.retired_by,
+            "retired_at": time.time(),
+            "rule_count": len(ruleset.rules),
+        })
         shutil.rmtree(versions[args.version])
-        print(f"retired v{args.version}")
+        suffix = f" ({args.reason})" if args.reason else ""
+        print(f"retired v{args.version}{suffix}")
         return 0
     return 2
 
@@ -819,6 +928,22 @@ def _run_client_command(client, args) -> int:
         print(f"ok={health['ok']} tenants={health['tenants']} jobs={health['jobs']}")
         return 0
 
+    if args.client_command == "metrics":
+        metrics = client.metrics()
+        jobs = metrics["jobs"]
+        print(f"jobs: {jobs.get('queued', 0)} queued, "
+              f"{jobs.get('running', 0)} running, "
+              f"{sum(jobs.values())} total; "
+              f"accepting={metrics['accepting']} "
+              f"open_feeds={metrics['open_feeds']}")
+        for tenant in metrics["tenants"]:
+            print(f"  {tenant['name']}: queue_depth={tenant['queue_depth']} "
+                  f"running={tenant['running']} "
+                  f"submitted={tenant['jobs_submitted']} "
+                  f"quota_rejections={tenant['quota_rejections']}")
+        _client_write_json(metrics, args.json)
+        return 0
+
     if args.client_command == "events":
         report = client.events(args.tenant, after=args.after, wait=args.wait)
         for note in report["notifications"]:
@@ -880,6 +1005,151 @@ def _run_client_command(client, args) -> int:
     return 0 if job["state"] != "failed" else 1
 
 
+# -- arena --------------------------------------------------------------------------
+def _arena_read_state(state_dir: str, name: str) -> dict:
+    import json as json_module
+
+    path = Path(state_dir) / name
+    try:
+        return json_module.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise SystemExit(f"cannot read {path}: {exc} (run 'rulellm arena run "
+                         f"--state-dir {state_dir}' first)")
+    except ValueError as exc:
+        raise SystemExit(f"corrupt state file {path}: {exc}")
+
+
+def _cmd_arena(args) -> int:
+    import json as json_module
+
+    if args.arena_command == "leaderboard":
+        board = _arena_read_state(args.state_dir, "leaderboard.json")
+        entries = board.get("entries", [])[: args.limit]
+        if not entries:
+            print("(empty leaderboard)")
+        for entry in entries:
+            delta = entry.get("rank_delta", 0)
+            arrow = "=" if not delta else (f"+{delta}" if delta > 0 else str(delta))
+            status = entry.get("status", "active")
+            flag = f" [{status}]" if status != "active" else ""
+            print(f"#{entry['rank']} ({arrow}) {entry['rule']}: "
+                  f"{entry['score']:.3f} (best {entry['best_score']:.3f}, "
+                  f"{entry['rounds']} rounds){flag}")
+        _client_write_json(board, args.json)
+        return 0
+
+    if args.arena_command == "history":
+        saved = _arena_read_state(args.state_dir, "rounds.json")
+        rounds = saved.get("rounds", [])[-args.limit:]
+        if not rounds:
+            print("(no rounds recorded)")
+        for record in rounds:
+            retired = record.get("retired_rules", [])
+            extras = []
+            if retired:
+                extras.append(f"retired {len(retired)} rule(s)")
+            if record.get("refeed_version") is not None:
+                extras.append(f"refeed -> v{record['refeed_version']}")
+            suffix = f" [{'; '.join(extras)}]" if extras else ""
+            print(f"round {record['index']} v{record['version']}: "
+                  f"{record['packages']} pkgs "
+                  f"({record['malicious']} malicious){suffix}")
+        _client_write_json(saved, args.json)
+        return 0
+
+    # arena run
+    from repro.api import GenerationSession
+    from repro.arena import (
+        ArenaConfig,
+        ArenaRunner,
+        Leaderboard,
+        LifecyclePolicy,
+        ReplayTraffic,
+        TrafficConfig,
+    )
+    from repro.scanserve import ScanService, ScanServiceConfig
+
+    state_dir = Path(args.state_dir) if args.state_dir else None
+    if state_dir is not None:
+        state_dir.mkdir(parents=True, exist_ok=True)
+
+    dataset = build_dataset(DatasetConfig(scale=args.scale, seed=args.seed))
+    print(f"corpus: {len(dataset.malware)} malicious, "
+          f"{len(dataset.benign)} benign packages")
+
+    service = ScanService(
+        config=ScanServiceConfig(mode="inprocess", match_threshold=1)
+    )
+    session = GenerationSession(
+        config=RuleLLMConfig.full(model=args.model, seed=args.seed),
+        registry=service.registry,
+    )
+    session.add_batch(dataset.malware)
+    baseline = session.generate(label="arena-baseline")
+    print(f"baseline: v{baseline.version.version} "
+          f"({len(baseline.rule_set.rules)} rules)")
+
+    traffic = ReplayTraffic(dataset.malware, TrafficConfig(
+        seed=args.seed,
+        packages_per_round=max(2, args.packages_per_round),
+        obfuscation_base=0.0,
+        obfuscation_step=args.obfuscation_step,
+    ))
+    retire_after = max(1, args.retire_after)
+    runner = ArenaRunner(
+        service,
+        traffic,
+        leaderboard=Leaderboard(
+            path=state_dir / "leaderboard.json" if state_dir else None
+        ),
+        policy=LifecyclePolicy(
+            decay_threshold=args.decay_threshold,
+            flag_after=1,
+            quarantine_after=max(1, retire_after - 1),
+            retire_after=retire_after,
+        ),
+        config=ArenaConfig(
+            policy=args.policy,
+            refeed=not args.no_refeed,
+            model=args.model,
+            seed=args.seed,
+        ),
+        history_path=state_dir / "rounds.json" if state_dir else None,
+    )
+    runner.register_sources(baseline.version.version, baseline.rule_set)
+
+    for _ in range(max(1, args.rounds)):
+        record = runner.run_round()
+        print(record.describe())
+        for action in record.actions:
+            print(f"  {action.describe()}")
+
+    print("\nleaderboard:")
+    print(runner.leaderboard.describe(limit=10))
+    retirements = service.registry.retirements()
+    if retirements:
+        print("\nretired versions:")
+        for tombstone in retirements:
+            print(f"  {tombstone.describe()}")
+
+    if args.json:
+        report = {
+            "seed": args.seed,
+            "policy": args.policy,
+            "baseline_version": baseline.version.version,
+            "rounds": [record.to_dict() for record in runner.history],
+            "retirements": [tombstone.to_dict() for tombstone in retirements],
+            "leaderboard": runner.leaderboard.to_dict(),
+        }
+        Path(args.json).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.json).write_text(
+            json_module.dumps(report, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {args.json}")
+    return 0
+
+
 def _cmd_evaluate(args) -> int:
     dataset_config = DatasetConfig(scale=args.scale, seed=args.seed)
     if args.scale < 0.5:
@@ -901,6 +1171,7 @@ def main(argv: list[str] | None = None) -> int:
     _add_registry(subparsers)
     _add_serve(subparsers)
     _add_client(subparsers)
+    _add_arena(subparsers)
     _add_evaluate(subparsers)
     args = parser.parse_args(argv)
     if args.command == "generate":
@@ -919,6 +1190,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_serve(args)
     if args.command == "client":
         return _cmd_client(args)
+    if args.command == "arena":
+        return _cmd_arena(args)
     if args.command == "evaluate":
         return _cmd_evaluate(args)
     parser.error(f"unknown command {args.command!r}")

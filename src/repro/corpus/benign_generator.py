@@ -84,6 +84,18 @@ class BenignGenerator:
             packages.append(self._build_package(index))
         return packages
 
+    def build_package(self, index: int) -> Package:
+        """Build the ``index``-th package of the corpus on its own.
+
+        Each package derives its randomness from a per-index child scope,
+        so any index can be generated lazily — streaming consumers (the
+        arena's replay traffic) draw single packages out of a large index
+        space without materialising the corpus.
+        """
+        if index < 0:
+            raise ValueError("package index must be >= 0")
+        return self._build_package(index)
+
     # -- assembly -------------------------------------------------------------
     def _package_name(self, index: int, rng: DeterministicRandom) -> str:
         if self.config.use_popular_names and index < len(POPULAR_PACKAGES):

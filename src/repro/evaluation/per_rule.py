@@ -9,6 +9,7 @@ paper does (65 YARA and 62 Semgrep rules match no package).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.evaluation.detector import DetectionResult
 
@@ -54,6 +55,25 @@ def per_rule_statistics(result: DetectionResult, rule_names: list[str]) -> list[
     return [stats[name] for name in sorted(stats)]
 
 
+def merge_per_rule_stats(
+    stat_groups: Iterable[Iterable[PerRuleStats]],
+) -> list[PerRuleStats]:
+    """Fold several per-batch stat lists into one aggregate list.
+
+    Counts are summed per rule name, so a round scanned as many batches
+    aggregates without re-scanning anything.  Rules missing from some
+    groups simply contribute their present counts; the result is sorted by
+    rule name (the same order :func:`per_rule_statistics` emits).
+    """
+    merged: dict[str, PerRuleStats] = {}
+    for group in stat_groups:
+        for entry in group:
+            slot = merged.setdefault(entry.rule, PerRuleStats(rule=entry.rule))
+            slot.malicious_matches += entry.malicious_matches
+            slot.benign_matches += entry.benign_matches
+    return [merged[name] for name in sorted(merged)]
+
+
 @dataclass
 class PrecisionHistogram:
     """Histogram of per-rule precision (the Figure 7 / Figure 8 series)."""
@@ -76,6 +96,8 @@ def precision_histogram(stats: list[PerRuleStats], bins: int = 10,
         bin_edges=[round(i / bins, 3) for i in range(bins)],
         counts=[0] * bins,
     )
+    if not stats:  # nothing to bucket: a well-formed zeroed histogram
+        return histogram
     for entry in stats:
         if entry.total_matches == 0:
             histogram.zero_match_rules += 1

@@ -36,7 +36,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 from repro.api.session import GenerationSession
 from repro.core.config import RuleLLMConfig
 from repro.corpus.package import Package
-from repro.gateway.jobs import Job, JobQueue
+from repro.gateway.jobs import QUEUED, RUNNING, Job, JobQueue
 from repro.gateway.notify import NotificationHub, Subscription
 from repro.gateway.ratelimit import Clock, RateLimited
 from repro.gateway.tenants import Tenant, TenantManager, TenantQuota, UnknownTenant
@@ -94,6 +94,7 @@ class GatewayApp:
             backlog=self.config.notification_backlog, clock=self.clock
         )
         self._feeds: Dict[str, BoundedQueue] = {}  # open generation feeds by job id
+        self._arenas: Dict[str, object] = {}  # lazy per-tenant ArenaRunner
         self._loop: Optional[asyncio.AbstractEventLoop] = None
 
     # -- lifecycle ------------------------------------------------------------------
@@ -255,6 +256,83 @@ class GatewayApp:
             feed.close()
         return job
 
+    # -- arena rounds -----------------------------------------------------------------
+    def _arena_runner(self, tenant: Tenant):
+        """The tenant's arena runner, built on first use.
+
+        Traffic replays a small seeded corpus (deterministic per gateway
+        seed) against whatever version the tenant last published; refeed is
+        off — a gateway arena job *measures*, the tenant decides what to
+        regenerate.
+        """
+        runner = self._arenas.get(tenant.name)
+        if runner is None:
+            from repro.arena import (
+                ArenaConfig,
+                ArenaRunner,
+                ReplayTraffic,
+                TrafficConfig,
+            )
+            from repro.corpus import DatasetConfig, build_dataset
+
+            dataset = build_dataset(
+                DatasetConfig(scale=0.01, seed=self.config.seed)
+            )
+            traffic = ReplayTraffic(dataset.malware, TrafficConfig(
+                seed=self.config.seed,
+                packages_per_round=8,
+                obfuscation_base=0.0,
+                obfuscation_step=0.25,
+            ))
+            runner = ArenaRunner(
+                tenant.service,
+                traffic,
+                config=ArenaConfig(refeed=False, seed=self.config.seed),
+            )
+            self._arenas[tenant.name] = runner
+        return runner
+
+    async def submit_arena(
+        self, tenant_name: str, rounds: int = 1, label: str = ""
+    ) -> Job:
+        """Queue arena rounds against the tenant's active ruleset version.
+
+        Each round replays seeded traffic, scores every rule and folds the
+        verdicts into the tenant's leaderboard; the job result carries the
+        round summaries and the current standings.  A tenant without a
+        published version fails the *job*, not the submission.
+        """
+        tenant = self._admit(tenant_name)
+        count = max(1, int(rounds))
+        loop = self._require_loop()
+        runner = self._arena_runner(tenant)
+
+        async def run(job: Job) -> dict:
+            def work() -> dict:
+                records = [runner.run_round() for _ in range(count)]
+                return {
+                    "rounds": [
+                        {
+                            "index": record.index,
+                            "version": record.version,
+                            "packages": record.packages,
+                            "malicious": record.malicious,
+                            "retired_rules": record.retired_rules,
+                            "actions": len(record.actions),
+                        }
+                        for record in records
+                    ],
+                    "leaderboard": [
+                        entry.to_dict()
+                        for entry in runner.leaderboard.rankings(limit=10)
+                    ],
+                    "summary": records[-1].describe(),
+                }
+
+            return await loop.run_in_executor(None, work)
+
+        return self.jobs.submit("arena", tenant_name, run, label=label)
+
     # -- job access -------------------------------------------------------------------
     def job(self, tenant_name: str, job_id: str) -> Job:
         """A tenant's job; jobs of other tenants are indistinguishable from
@@ -293,6 +371,33 @@ class GatewayApp:
         return await self.hub.wait_for(tenant_name, after_seq, timeout)
 
     # -- introspection ----------------------------------------------------------------
+    def metrics(self) -> dict:
+        """Operational snapshot: global job counts plus per-tenant depth.
+
+        Everything here is already tracked (job states, token buckets,
+        rejection counters) — this just folds it into one scrape-friendly
+        document for dashboards and the ``GET /metrics`` endpoint.
+        """
+        tenants = []
+        for tenant in self.tenants.tenants():
+            tenant_jobs = self.jobs.jobs(tenant=tenant.name)
+            tenants.append({
+                "name": tenant.name,
+                "queue_depth": sum(1 for j in tenant_jobs if j.state == QUEUED),
+                "running": sum(1 for j in tenant_jobs if j.state == RUNNING),
+                "terminal": sum(1 for j in tenant_jobs if j.finished),
+                "jobs_submitted": tenant.jobs_submitted,
+                "quota_rejections": tenant.rejected,
+                "registry_versions": tenant.registry.versions(),
+                "active_version": tenant.registry.current_version(),
+            })
+        return {
+            "jobs": self.jobs.counts(),
+            "tenants": tenants,
+            "open_feeds": len(self._feeds),
+            "accepting": self.jobs.accepting,
+        }
+
     def to_dict(self) -> dict:
         return {
             "tenants": [tenant.to_dict() for tenant in self.tenants.tenants()],

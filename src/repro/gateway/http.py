@@ -8,9 +8,11 @@ push channel is the **long-poll** events endpoint, not connection reuse.
 Routes (all JSON bodies)::
 
     GET  /healthz                                  liveness + job counts
+    GET  /metrics                                  per-tenant queues + quota stats
     GET  /tenants                                  registered tenants
     POST /tenants          {name, quota?}          register (201; 409 dup)
     POST /v1/T/scan        {packages, label?}      queue a scan job (202)
+    POST /v1/T/arena       {rounds?, label?}       queue arena rounds (202)
     POST /v1/T/generate    {label?}                open a streaming feed (202)
     POST /v1/T/generate/J/feed   {packages}        stream a batch into the feed
     POST /v1/T/generate/J/close                    close the feed -> generate
@@ -241,6 +243,9 @@ class GatewayHttpServer:
                 "accepting": app.jobs.accepting,
             }, {}
 
+        if method == "GET" and parts == ["metrics"]:
+            return 200, app.metrics(), {}
+
         if parts == ["tenants"]:
             if method == "GET":
                 return 200, {
@@ -277,6 +282,14 @@ class GatewayHttpServer:
         if rest == ["scan"] and method == "POST":
             packages = _packages_from_body(body)
             job = await app.submit_scan(tenant, packages, label=body.get("label", ""))
+            return 202, job.to_dict(), {}
+
+        if rest == ["arena"] and method == "POST":
+            job = await app.submit_arena(
+                tenant,
+                rounds=int(body.get("rounds", 1)),
+                label=body.get("label", ""),
+            )
             return 202, job.to_dict(), {}
 
         if rest == ["generate"] and method == "POST":
@@ -411,6 +424,9 @@ class GatewayClient:
     def health(self) -> dict:
         return self._request("GET", "/healthz")
 
+    def metrics(self) -> dict:
+        return self._request("GET", "/metrics")
+
     def tenants(self) -> List[dict]:
         return self._request("GET", "/tenants")["tenants"]
 
@@ -462,6 +478,11 @@ class GatewayClient:
 
     def close_generation(self, tenant: str, job_id: str) -> dict:
         return self._request("POST", f"/v1/{tenant}/generate/{job_id}/close", {})
+
+    def submit_arena(self, tenant: str, rounds: int = 1, label: str = "") -> dict:
+        return self._request(
+            "POST", f"/v1/{tenant}/arena", {"rounds": rounds, "label": label}
+        )
 
     def job(self, tenant: str, job_id: str, wait: float = 0.0) -> dict:
         suffix = f"?wait={wait:g}" if wait > 0 else ""

@@ -114,6 +114,44 @@ class RulesetVersion:
         )
 
 
+@dataclass(frozen=True)
+class RetirementRecord:
+    """Tombstone of a retired version: who dropped it and why.
+
+    The version's rules and index are freed on retirement; the record (a
+    few strings) stays addressable so ``describe()`` and audits can answer
+    "where did v3 go?" — essential once automated policies (the arena's
+    auto-retire) drop versions without a human in the loop.
+    """
+
+    version: int
+    label: str = ""
+    reason: str = ""
+    retired_by: str = ""
+    retired_at: float = field(default_factory=time.time)
+    rule_count: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "version": self.version,
+            "label": self.label,
+            "reason": self.reason,
+            "retired_by": self.retired_by,
+            "retired_at": self.retired_at,
+            "rule_count": self.rule_count,
+        }
+
+    def describe(self) -> str:
+        label = f" ({self.label})" if self.label else ""
+        by = f" by {self.retired_by}" if self.retired_by else ""
+        why = f": {self.reason}" if self.reason else ""
+        return f"v{self.version}{label} retired{by}{why}"
+
+
+#: Retirement tombstones kept addressable per registry.
+_MAX_RETIREMENT_RECORDS = 100
+
+
 @dataclass
 class PublishEvent:
     """One registry state change, delivered to every subscriber.
@@ -250,6 +288,7 @@ class RulesetRegistry:
         self._next_version = 1
         self._subscribers: dict[int, PublishListener] = {}
         self._next_subscriber = 1
+        self._retired: dict[int, RetirementRecord] = {}  # bounded tombstones
         self.subscriber_errors: list[str] = []  # bounded; diagnostics only
 
     # -- event bus ----------------------------------------------------------------
@@ -511,12 +550,38 @@ class RulesetRegistry:
             )
         return target
 
-    def retire(self, version: int) -> None:
-        """Drop a non-current version (frees its index)."""
+    def retire(
+        self, version: int, reason: str = "", retired_by: str = ""
+    ) -> Optional[RetirementRecord]:
+        """Drop a non-current version (frees its index).
+
+        ``reason`` / ``retired_by`` stamp a :class:`RetirementRecord`
+        tombstone surfaced by :meth:`describe` and :meth:`retirements`, so
+        automated retirement (the arena) leaves an audit trail.  Retiring
+        an unknown version stays a silent no-op (returns ``None``).
+        """
         with self._lock:
             if version == self._current:
                 raise ValueError(f"cannot retire the active version v{version}")
-            self._versions.pop(version, None)
+            dropped = self._versions.pop(version, None)
+            if dropped is None:
+                return None
+            record = RetirementRecord(
+                version=version,
+                label=dropped.label,
+                reason=reason,
+                retired_by=retired_by,
+                rule_count=dropped.rule_count,
+            )
+            self._retired[version] = record
+            while len(self._retired) > _MAX_RETIREMENT_RECORDS:
+                del self._retired[next(iter(self._retired))]
+            return record
+
+    def retirements(self) -> list[RetirementRecord]:
+        """Tombstones of every retired version, oldest version first."""
+        with self._lock:
+            return [self._retired[v] for v in sorted(self._retired)]
 
     # -- introspection ------------------------------------------------------------
     def versions(self) -> list[int]:
@@ -538,4 +603,6 @@ class RulesetRegistry:
             for version in sorted(self._versions):
                 marker = "*" if version == current else " "
                 lines.append(f"{marker} {self._versions[version].describe()}")
+            for version in sorted(self._retired):
+                lines.append(f"x {self._retired[version].describe()}")
         return "\n".join(lines) if lines else "(empty registry)"

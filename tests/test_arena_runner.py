@@ -1,0 +1,200 @@
+"""ArenaRunner integration: round scoring over a real scan service, bounded
+history with on-disk persistence, auto mode on the registry's publish bus
+(drain-on-stop), and the retire-without-refeed path."""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.arena import (
+    ArenaConfig,
+    ArenaRunner,
+    Leaderboard,
+    LifecyclePolicy,
+    ReplayTraffic,
+    TrafficConfig,
+)
+from repro.corpus.package import MALWARE, Package, PackageFile, PackageMetadata
+from repro.scanserve import ScanService, ScanServiceConfig
+from repro.yarax import compile_source
+
+NEEDLE = "arena_runner_needle"
+
+
+def _malware(name: str, payload: str) -> Package:
+    return Package(
+        name=name,
+        version="1.0",
+        metadata=PackageMetadata(name=name),
+        files=[PackageFile(path=f"{name}.py", content=payload)],
+        label=MALWARE,
+        family="arena-runner-test",
+    )
+
+
+def _service_with_rules() -> ScanService:
+    """An in-process service with one firing and one silent rule."""
+    service = ScanService(
+        config=ScanServiceConfig(mode="inprocess", match_threshold=1)
+    )
+    service.registry.publish(
+        yara=compile_source(
+            f'rule hits {{ strings: $a = "{NEEDLE}" condition: $a }}\n'
+            'rule silent { strings: $a = "never_in_any_traffic" condition: $a }'
+        ),
+        label="runner-test",
+    )
+    return service
+
+
+def _traffic() -> ReplayTraffic:
+    malware = [
+        _malware("mal-a", f"x = '{NEEDLE}'"),
+        _malware("mal-b", f"y = '{NEEDLE}'; import os"),
+    ]
+    return ReplayTraffic(
+        malware,
+        TrafficConfig(seed=17, packages_per_round=10, chunk_size=4,
+                      rename_probability=1.0),
+    )
+
+
+class TestRunRound:
+    def test_round_scores_and_ranks(self, tmp_path):
+        service = _service_with_rules()
+        runner = ArenaRunner(
+            service,
+            _traffic(),
+            leaderboard=Leaderboard(path=tmp_path / "board.json"),
+            config=ArenaConfig(policy="strict", refeed=False),
+        )
+        record = runner.run_round()
+        assert record.version == 1
+        assert record.packages == 10
+        assert record.malicious + record.benign == 10
+        by_rule = {s.rule: s for s in record.scores}
+        assert set(by_rule) == {"hits", "silent"}
+        assert by_rule["hits"].score == 1.0  # every malicious variant carries it
+        assert by_rule["silent"].score == 0.0
+        assert runner.leaderboard.entry(service.registry.namespace, "hits").rank == 1
+
+    def test_two_runners_agree(self):
+        records = []
+        for _ in range(2):
+            runner = ArenaRunner(
+                _service_with_rules(), _traffic(),
+                config=ArenaConfig(policy="strict", refeed=False),
+            )
+            records.append(runner.run_round())
+        assert [s.to_dict() for s in records[0].scores] == [
+            s.to_dict() for s in records[1].scores
+        ]
+
+    def test_history_is_bounded_and_persisted(self, tmp_path):
+        history_path = tmp_path / "rounds.json"
+        runner = ArenaRunner(
+            _service_with_rules(), _traffic(),
+            config=ArenaConfig(policy="strict", refeed=False, history_limit=2),
+            history_path=history_path,
+        )
+        for _ in range(4):
+            runner.run_round()
+        assert [r.index for r in runner.history] == [2, 3]
+        saved = json.loads(history_path.read_text(encoding="utf-8"))
+        assert [r["index"] for r in saved["rounds"]] == [2, 3]
+
+    def test_decay_statuses_reach_the_saved_board(self, tmp_path):
+        board_path = tmp_path / "board.json"
+        runner = ArenaRunner(
+            _service_with_rules(), _traffic(),
+            leaderboard=Leaderboard(path=board_path),
+            policy=LifecyclePolicy(flag_after=1, quarantine_after=2,
+                                   retire_after=3),
+            config=ArenaConfig(policy="strict", refeed=False),
+        )
+        runner.run_round()  # silent decays -> flagged
+        reloaded = Leaderboard(path=board_path)
+        namespace = runner.registry.namespace
+        assert reloaded.entry(namespace, "silent").status == "flagged"
+        runner.run_round()
+        runner.run_round()  # third consecutive decay -> retired
+        assert runner.tracker.retired_rules() == ["silent"]
+        reloaded = Leaderboard(path=board_path)
+        assert reloaded.entry(namespace, "silent").status == "retired"
+
+    def test_retire_without_refeed_keeps_version(self):
+        runner = ArenaRunner(
+            _service_with_rules(), _traffic(),
+            policy=LifecyclePolicy(flag_after=1, quarantine_after=1,
+                                   retire_after=1),
+            config=ArenaConfig(policy="strict", refeed=False),
+        )
+        record = runner.run_round()
+        assert record.retired_rules == ["silent"]
+        assert record.refeed_version is None
+        assert runner.registry.versions() == [1]  # measurement only, no publish
+
+    def test_refeed_without_sources_or_misses_is_a_noop(self):
+        # every malicious package is detected -> empty refinement corpus;
+        # no registered sources -> nothing to republish either
+        runner = ArenaRunner(
+            _service_with_rules(), _traffic(),
+            policy=LifecyclePolicy(flag_after=1, quarantine_after=1,
+                                   retire_after=1),
+            config=ArenaConfig(policy="strict", refeed=True),
+        )
+        record = runner.run_round()
+        assert record.retired_rules == ["silent"]
+        assert record.refeed_version is None
+        assert record.retired_version is None
+        assert runner.registry.versions() == [1]
+
+
+class TestAutoMode:
+    def test_activated_publish_triggers_a_round(self):
+        service = _service_with_rules()
+        runner = ArenaRunner(
+            service, _traffic(), config=ArenaConfig(policy="strict", refeed=False)
+        ).start()
+        try:
+            service.registry.publish(
+                yara=compile_source(
+                    f'rule hits2 {{ strings: $a = "{NEEDLE}" condition: $a }}'
+                ),
+                label="nightly",
+            )
+            deadline = time.monotonic() + 30
+            while not runner.history:
+                assert time.monotonic() < deadline, "auto round never ran"
+                time.sleep(0.02)
+        finally:
+            runner.stop(drain=True)
+        assert runner.history[0].version == 2
+        assert {s.rule for s in runner.history[0].scores} == {"hits2"}
+
+    def test_stop_drains_queued_rounds(self):
+        service = _service_with_rules()
+        runner = ArenaRunner(
+            service, _traffic(), config=ArenaConfig(policy="strict", refeed=False)
+        )
+        # queue without the worker running, then start -> stop(drain=True)
+        runner._pending.put(1)
+        runner._pending.put(1)
+        runner.start()
+        runner.stop(drain=True)
+        assert len(runner.history) == 2
+        assert runner.pending_rounds == 0
+
+    def test_double_start_rejected(self):
+        runner = ArenaRunner(
+            _service_with_rules(), _traffic(),
+            config=ArenaConfig(refeed=False),
+        ).start()
+        try:
+            with pytest.raises(RuntimeError):
+                runner.start()
+        finally:
+            runner.stop()

@@ -236,3 +236,69 @@ class TestRegistryCli:
     def test_list_empty_directory(self, tmp_path, capsys):
         assert cli_main(["registry", "list", str(tmp_path / "nothing")]) == 0
         assert "no versions" in capsys.readouterr().out
+
+    def test_retire_with_reason_stamps_a_tombstone(self, registry_dir, capsys):
+        assert cli_main(["registry", "activate", str(registry_dir), "1"]) == 0
+        capsys.readouterr()
+        assert cli_main(
+            ["registry", "retire", str(registry_dir), "2",
+             "--reason", "decayed in the arena", "--by", "ops"]
+        ) == 0
+        assert "retired v2 (decayed in the arena)" in capsys.readouterr().out
+        tombstones = json.loads(
+            (registry_dir / "RETIRED.json").read_text(encoding="utf-8")
+        )
+        assert tombstones[0]["version"] == 2
+        assert tombstones[0]["reason"] == "decayed in the arena"
+        assert tombstones[0]["retired_by"] == "ops"
+        assert tombstones[0]["rule_count"] > 0
+
+        assert cli_main(["registry", "list", str(registry_dir)]) == 0
+        listing = capsys.readouterr().out
+        assert "x v2 retired by ops: decayed in the arena" in listing
+
+
+class TestArenaCli:
+    @pytest.fixture()
+    def state_dir(self, tmp_path):
+        """A saved arena state dir, written through the real components."""
+        from repro.arena import Leaderboard
+        from repro.arena.scoring import RuleScore
+
+        root = tmp_path / "arena"
+        root.mkdir()
+        board = Leaderboard(path=root / "leaderboard.json")
+        verdicts = [
+            RuleScore(rule="good", score=0.9, precision=0.9, coverage=3,
+                      malicious_matches=3, benign_matches=0, policy="strict"),
+            RuleScore(rule="bad", score=0.1, precision=0.1, coverage=1,
+                      malicious_matches=1, benign_matches=9, policy="strict"),
+        ]
+        board.record_round(verdicts, 0)
+        board.set_status("", "bad", "quarantined")
+        board.save()
+        (root / "rounds.json").write_text(json.dumps({
+            "rounds": [
+                {"index": 0, "version": 1, "packages": 16, "malicious": 8,
+                 "retired_rules": [], "refeed_version": None},
+                {"index": 1, "version": 1, "packages": 16, "malicious": 7,
+                 "retired_rules": ["bad"], "refeed_version": 2},
+            ]
+        }), encoding="utf-8")
+        return root
+
+    def test_leaderboard_listing(self, state_dir, capsys):
+        assert cli_main(["arena", "leaderboard", str(state_dir)]) == 0
+        output = capsys.readouterr().out
+        assert "#1 (=) good: 0.900" in output
+        assert "[quarantined]" in output
+
+    def test_history_listing(self, state_dir, capsys):
+        assert cli_main(["arena", "history", str(state_dir)]) == 0
+        output = capsys.readouterr().out
+        assert "round 0 v1: 16 pkgs (8 malicious)" in output
+        assert "retired 1 rule(s); refeed -> v2" in output
+
+    def test_missing_state_dir_fails_with_hint(self, tmp_path):
+        with pytest.raises(SystemExit, match="arena run"):
+            cli_main(["arena", "leaderboard", str(tmp_path / "nowhere")])

@@ -158,3 +158,31 @@ def test_render_histogram_and_series():
 
 def test_percent_formatting():
     assert percent(0.852) == "85.2%"
+
+
+# -- variant experiment determinism ----------------------------------------------------
+
+def test_variant_detection_experiment_is_seed_deterministic(malware_packages):
+    """Same config + corpus => identical groups, seeds, variant counts and
+    detection rates across independent runs (the arena replays depend on it)."""
+    from repro.core import RuleLLMConfig
+    from repro.evaluation.variants import variant_detection_experiment
+
+    config = RuleLLMConfig.full(seed=20250424)
+    runs = [
+        variant_detection_experiment(
+            malware_packages, config=config, seeds_per_group=2, max_groups=3
+        )
+        for _ in range(2)
+    ]
+    first, second = runs
+    assert len(first.groups) == len(second.groups) > 0
+    for left, right in zip(first.groups, second.groups):
+        assert left.cluster_id == right.cluster_id
+        assert left.seeds == right.seeds
+        assert left.variants == right.variants
+        assert left.rules_generated == right.rules_generated
+        assert left.detected == right.detected
+        assert left.detection_rate == right.detection_rate
+    assert first.overall_detection_rate == second.overall_detection_rate
+    assert first.average_detection_rate == second.average_detection_rate

@@ -151,3 +151,63 @@ class TestHttpRateLimit:
         # deficit of ~1 token at 0.25/s: close to 4s minus the real-clock
         # refill between the two requests
         assert 0 < excinfo.value.retry_after <= 4.0
+
+
+class TestHttpMetrics:
+    def test_metrics_snapshot_shape(self, client):
+        client.register_tenant("metrics-t")
+        metrics = client.metrics()
+        assert metrics["accepting"] is True
+        assert isinstance(metrics["jobs"], dict)
+        assert isinstance(metrics["open_feeds"], int)
+        row = next(t for t in metrics["tenants"] if t["name"] == "metrics-t")
+        assert row["queue_depth"] == 0
+        assert row["running"] == 0
+        assert row["terminal"] == 0
+        assert row["jobs_submitted"] == 0
+        assert row["quota_rejections"] == 0
+        assert row["registry_versions"] == []
+        assert row["active_version"] is None
+
+    def test_metrics_counts_jobs_and_rejections(self, gateway, client):
+        client.register_tenant(
+            "metrics-q", TenantQuota(capacity=1, refill_per_second=0.001)
+        )
+        _publish_rules(gateway, "metrics-q")
+        job = client.submit_scan("metrics-q", _targets("mq"))
+        done = client.job("metrics-q", job["id"], wait=10)
+        assert done["state"] == "done"
+        with pytest.raises(RateLimited):
+            client.submit_scan("metrics-q", _targets("mq2"))
+        row = next(
+            t for t in client.metrics()["tenants"] if t["name"] == "metrics-q"
+        )
+        assert row["jobs_submitted"] == 1
+        assert row["terminal"] >= 1
+        assert row["quota_rejections"] == 1
+        assert row["registry_versions"] == [1]
+        assert row["active_version"] == 1
+
+
+class TestHttpArena:
+    def test_arena_rounds_over_http(self, gateway, client):
+        client.register_tenant("arena-t")
+        _publish_rules(gateway, "arena-t")
+        job = client.submit_arena("arena-t", rounds=2, label="nightly")
+        assert job["kind"] == "arena"
+        done = client.job("arena-t", job["id"], wait=60)
+        assert done["state"] == "done"
+        result = done["result"]
+        assert [r["index"] for r in result["rounds"]] == [0, 1]
+        assert all(r["version"] == 1 for r in result["rounds"])
+        assert all(r["packages"] > 0 for r in result["rounds"])
+        assert result["leaderboard"], "rounds must rank the published rule"
+        assert result["leaderboard"][0]["rank"] == 1
+        assert "round 1 v1" in result["summary"]
+
+    def test_arena_without_published_rules_fails_the_job(self, client):
+        client.register_tenant("arena-empty")
+        job = client.submit_arena("arena-empty")
+        done = client.job("arena-empty", job["id"], wait=30)
+        assert done["state"] == "failed"
+        assert "version" in done["error"] or "publish" in done["error"]

@@ -139,3 +139,49 @@ class TestNamespaceStamping:
         registry.subscribe(events.append)
         registry.publish(yara=_rules())
         assert events[0].namespace == ""
+
+
+class TestRetirementRecords:
+    def _registry_with_two_versions(self) -> RulesetRegistry:
+        registry = RulesetRegistry(namespace="stamp")
+        registry.publish(yara=_rules("old", "old_needle"), label="first")
+        registry.publish(yara=_rules("new", "new_needle"), label="second")
+        return registry
+
+    def test_retire_stamps_a_tombstone(self):
+        registry = self._registry_with_two_versions()
+        record = registry.retire(1, reason="decayed", retired_by="arena")
+        assert record is not None
+        assert (record.version, record.label) == (1, "first")
+        assert record.reason == "decayed"
+        assert record.retired_by == "arena"
+        assert record.rule_count == 1
+        assert registry.retirements() == [record]
+        assert registry.versions() == [2]
+
+    def test_tombstone_surfaces_in_describe(self):
+        registry = self._registry_with_two_versions()
+        registry.retire(1, reason="decayed", retired_by="arena")
+        description = registry.describe()
+        assert "x v1 (first) retired by arena: decayed" in description
+
+    def test_active_version_still_protected(self):
+        registry = self._registry_with_two_versions()
+        try:
+            registry.retire(2, reason="nope")
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("retiring the active version must raise")
+        assert registry.retirements() == []
+
+    def test_unknown_version_stays_a_silent_noop(self):
+        registry = self._registry_with_two_versions()
+        assert registry.retire(99, reason="ghost") is None
+        assert registry.retirements() == []
+
+    def test_bare_retire_keeps_working(self):
+        registry = self._registry_with_two_versions()
+        record = registry.retire(1)
+        assert record.reason == "" and record.retired_by == ""
+        assert record.describe() == "v1 (first) retired"
