@@ -1,0 +1,114 @@
+"""Benchmark regression guard for the scan-throughput report.
+
+Compares a freshly generated ``scan_throughput.json`` against a committed
+baseline and fails (exit 1) when the indexed lane regressed by more than the
+allowed fraction.  Guarded lanes:
+
+* the 200-rule ``indexed`` lane;
+* every ``registry_scale`` point present in **both** reports (matched by
+  rule count — new points are allowed to appear without a baseline).
+
+The guarded metric is the indexed/naive **speedup** of each lane, not raw
+packages/sec: the baseline is committed from one machine and the fresh
+report is generated on another (CI runners also scale the corpus down), so
+absolute throughput is not comparable across them.  Speedup normalizes the
+indexed lane by the naive lane *of the same run*, which cancels hardware
+and corpus scale; a packed-lane slowdown shows up in it directly.  Raw
+packages/sec are printed alongside for inspection.
+
+Usage::
+
+    python benchmarks/check_regression.py BASELINE.json FRESH.json \
+        [--max-regression 0.25]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def _registry_points(report: dict) -> dict[int, dict]:
+    """``{rules: point}`` for every registry-scale point.
+
+    Accepts both the current list-of-points shape and the historical
+    single-object shape, so an old baseline still guards the new report.
+    """
+    raw = report.get("registry_scale") or []
+    if isinstance(raw, dict):
+        raw = [raw]
+    return {int(point["rules"]): point for point in raw}
+
+
+def check(baseline: dict, fresh: dict, max_regression: float) -> list[str]:
+    """Failure messages (empty = the fresh report passes the guard)."""
+    failures: list[str] = []
+
+    def guard(name: str, base: float, new: float, base_pps: float, new_pps: float) -> None:
+        floor = base * (1.0 - max_regression)
+        verdict = "ok" if new >= floor else "REGRESSED"
+        print(
+            f"{name}: speedup baseline {base:.2f}x, fresh {new:.2f}x "
+            f"(floor {floor:.2f}x) {verdict} "
+            f"[raw {base_pps:.0f} -> {new_pps:.0f} pkg/s]"
+        )
+        if new < floor:
+            failures.append(
+                f"{name} regressed: speedup {new:.2f}x < floor {floor:.2f}x "
+                f"({max_regression:.0%} below baseline {base:.2f}x)"
+            )
+
+    guard(
+        "indexed (200 rules)",
+        float(baseline["speedup"]),
+        float(fresh["speedup"]),
+        float(baseline["indexed"]["packages_per_second"]),
+        float(fresh["indexed"]["packages_per_second"]),
+    )
+    base_points = _registry_points(baseline)
+    fresh_points = _registry_points(fresh)
+    for rules, base_point in sorted(base_points.items()):
+        if rules not in fresh_points:
+            failures.append(f"registry_scale point at {rules} rules disappeared")
+            continue
+        fresh_point = fresh_points[rules]
+        if not base_point.get("speedup") or not fresh_point.get("speedup"):
+            continue
+        guard(
+            f"registry_scale ({rules} rules)",
+            float(base_point["speedup"]),
+            float(fresh_point["speedup"]),
+            float(base_point["indexed"]["packages_per_second"]),
+            float(fresh_point["indexed"]["packages_per_second"]),
+        )
+    for rules in sorted(set(fresh_points) - set(base_points)):
+        pps = fresh_points[rules]["indexed"]["packages_per_second"]
+        print(f"registry_scale ({rules} rules): new point, {pps:.0f} pkg/s (no baseline)")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", type=Path)
+    parser.add_argument("fresh", type=Path)
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="allowed fractional speedup drop before failing (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+    baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
+    fresh = json.loads(args.fresh.read_text(encoding="utf-8"))
+    failures = check(baseline, fresh, args.max_regression)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("benchmark regression guard: all indexed lanes within tolerance")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,18 +17,26 @@ covered by the tier-1 suite).
 """
 
 import json
+import os
 import time
 
 from conftest import REPORT_DIR, run_once
 
 from repro.evaluation.detector import RuleScanner, prepare_packages
-from repro.scanserve import RuleIndex, ScanService, ScanServiceConfig
+from repro.scanserve import AhoCorasick, RuleIndex, ScanService, ScanServiceConfig
 from repro.utils.hashing import stable_hash
 from repro.yarax import compile_source
 
 TARGET_RULE_COUNT = 200
-REGISTRY_SCALE_RULE_COUNT = 1000  # the registry-scale regime: ~1k live rules
+#: Registry-scale regimes: ~1k live rules (a single busy tenant) and 5k
+#: (a multi-tenant gateway's merged inventory, the packed lane's home turf).
+REGISTRY_SCALE_POINTS = (1000, 5000)
 MIN_SPEEDUP = 5.0
+
+#: Atom-vocabulary sizes for the lane-crossover sweep (substring vs
+#: dict-automaton vs packed); texts/sec per lane shows where each lane wins.
+CROSSOVER_ATOM_SIZES = (64, 128, 256, 384, 512, 1024, 2048, 4096)
+CROSSOVER_TEXTS = 48
 
 
 def _synthetic_registry_rules(count: int, start: int = 0) -> str:
@@ -112,7 +120,14 @@ def test_bench_scan_throughput(benchmark, suite, report_dir):
             "shards": [],
         }
 
-        # service lanes: 1-4 shards (includes per-package preparation cost)
+        # service lanes: 1-4 shards (includes per-package preparation cost).
+        # Chunked dispatch ships one contiguous batch per worker and fork
+        # workers inherit the publish-time packed index, so the process
+        # lane's fixed overhead is per batch, not per package — but on a
+        # single-core runner process workers still time-slice one CPU, so
+        # the win is only asserted when the hardware can show it.
+        cpu_count = os.cpu_count() or 1
+        report["cpu_count"] = cpu_count
         for shards in (1, 2, 4):
             service = ScanService(
                 config=ScanServiceConfig(shards=shards, mode="auto", enable_cache=False)
@@ -131,59 +146,116 @@ def test_bench_scan_throughput(benchmark, suite, report_dir):
             assert [(d.package, d.yara_rules) for d in batch.detections] == [
                 (d.package, d.yara_rules) for d in naive.detections
             ]
-
-        # registry-scale point: ~1000 live rules (the regime a multi-tenant
-        # gateway registry actually runs at).  The indexed lane is timed over
-        # the full corpus; the naive lane only over a subsample — at 1000
-        # rules full naive scanning is exactly the O(rules x packages) cost
-        # this index exists to avoid.
-        extra = compile_source(
-            _synthetic_registry_rules(
-                REGISTRY_SCALE_RULE_COUNT - len(yara), start=TARGET_RULE_COUNT
+        if cpu_count >= 2:
+            inproc = report["shards"][0]["packages_per_second"]
+            best_process = max(
+                point["packages_per_second"]
+                for point in report["shards"]
+                if point["mode"] == "process"
             )
-        )
-        registry_yara = yara.extend(extra)
-        assert len(registry_yara) == REGISTRY_SCALE_RULE_COUNT
+            assert best_process >= inproc * 0.9, (
+                f"process shards ({best_process} pkg/s) should at least match "
+                f"in-process ({inproc} pkg/s) on {cpu_count} cores"
+            )
 
-        big_index = RuleIndex(yara=registry_yara)
-        big_scanner = RuleScanner(yara_rules=registry_yara, index=big_index)
-        start = time.perf_counter()
-        big_indexed = big_scanner.scan(prepared)
-        big_indexed_seconds = time.perf_counter() - start
+        # registry-scale points: 1k live rules (a single busy tenant) and 5k
+        # (a gateway's merged multi-tenant inventory).  The indexed lane is
+        # timed over the full corpus; the naive lane only over a shrinking
+        # subsample — at registry scale full naive scanning is exactly the
+        # O(rules x packages) cost this index exists to avoid.
+        report["registry_scale"] = []
+        registry_yara = yara
+        biggest_index = None
+        for point_rules in REGISTRY_SCALE_POINTS:
+            extra = compile_source(
+                _synthetic_registry_rules(
+                    point_rules - len(registry_yara), start=len(registry_yara)
+                )
+            )
+            registry_yara = registry_yara.extend(extra)
+            assert len(registry_yara) == point_rules
 
-        subsample = prepared[: min(16, len(prepared))]
-        naive_big = RuleScanner(yara_rules=registry_yara)
-        start = time.perf_counter()
-        naive_big_result = naive_big.scan(subsample)
-        naive_big_seconds = time.perf_counter() - start
-        assert [
-            (d.package, d.yara_rules)
-            for d in big_indexed.detections[: len(subsample)]
-        ] == [(d.package, d.yara_rules) for d in naive_big_result.detections]
+            big_index = RuleIndex(yara=registry_yara)
+            biggest_index = big_index
+            big_scanner = RuleScanner(yara_rules=registry_yara, index=big_index)
+            start = time.perf_counter()
+            big_indexed = big_scanner.scan(prepared)
+            big_indexed_seconds = time.perf_counter() - start
 
-        big_stats = big_index.stats()
-        big_pps = (
-            len(prepared) / big_indexed_seconds if big_indexed_seconds > 0 else 0.0
-        )
-        naive_big_pps = (
-            len(subsample) / naive_big_seconds if naive_big_seconds > 0 else 0.0
-        )
-        report["registry_scale"] = {
-            "rules": len(registry_yara),
-            "indexed_fraction": round(big_stats.indexed_fraction, 4),
-            "atoms": big_stats.atoms,
-            "indexed": {
-                "packages": len(prepared),
-                "seconds": round(big_indexed_seconds, 4),
-                "packages_per_second": round(big_pps, 2),
-            },
-            "naive_subsample": {
-                "packages": len(subsample),
-                "seconds": round(naive_big_seconds, 4),
-                "packages_per_second": round(naive_big_pps, 2),
-            },
-            "speedup": round(big_pps / naive_big_pps, 2) if naive_big_pps else None,
-        }
+            subsample = prepared[: min(max(4, 16000 // point_rules), len(prepared))]
+            naive_big = RuleScanner(yara_rules=registry_yara)
+            start = time.perf_counter()
+            naive_big_result = naive_big.scan(subsample)
+            naive_big_seconds = time.perf_counter() - start
+            assert [
+                (d.package, d.yara_rules)
+                for d in big_indexed.detections[: len(subsample)]
+            ] == [(d.package, d.yara_rules) for d in naive_big_result.detections]
+
+            big_stats = big_index.stats()
+            # at registry scale the packed automaton must be the chosen lane
+            assert big_stats.lane == "automaton", big_stats
+            big_pps = (
+                len(prepared) / big_indexed_seconds if big_indexed_seconds > 0 else 0.0
+            )
+            naive_big_pps = (
+                len(subsample) / naive_big_seconds if naive_big_seconds > 0 else 0.0
+            )
+            report["registry_scale"].append(
+                {
+                    "rules": len(registry_yara),
+                    "indexed_fraction": round(big_stats.indexed_fraction, 4),
+                    "atoms": big_stats.atoms,
+                    "lane": big_stats.lane,
+                    "packed_mode": big_stats.packed_mode,
+                    "packed_memory_mb": round(
+                        big_stats.packed_memory_bytes / 1e6, 2
+                    ),
+                    "indexed": {
+                        "packages": len(prepared),
+                        "seconds": round(big_indexed_seconds, 4),
+                        "packages_per_second": round(big_pps, 2),
+                    },
+                    "naive_subsample": {
+                        "packages": len(subsample),
+                        "seconds": round(naive_big_seconds, 4),
+                        "packages_per_second": round(naive_big_pps, 2),
+                    },
+                    "speedup": (
+                        round(big_pps / naive_big_pps, 2) if naive_big_pps else None
+                    ),
+                }
+            )
+
+        # lane-crossover sweep: texts/sec for the per-atom substring scan,
+        # the dict-of-dicts automaton walk, the packed single-text walk, and
+        # the packed batch lane, at growing atom-vocabulary sizes.  This is
+        # the measurement behind the default ``automaton_threshold``.
+        vocabulary = biggest_index._automaton.words
+        folded_texts = [p.folded_text for p in prepared[:CROSSOVER_TEXTS]]
+        report["crossover"] = []
+        for size in CROSSOVER_ATOM_SIZES:
+            if size > len(vocabulary):
+                break
+            lanes = AhoCorasick(vocabulary[:size])
+            point = {"atoms": size}
+            for lane_name, scan in (
+                ("substring", lambda: [lanes.find_substring(t) for t in folded_texts]),
+                ("dict_automaton", lambda: [lanes.find_automaton(t) for t in folded_texts]),
+                ("packed", lambda: [lanes.packed.find(t) for t in folded_texts]),
+                ("packed_batch", lambda: lanes.find_batch(folded_texts)),
+            ):
+                start = time.perf_counter()
+                hits = scan()
+                seconds = time.perf_counter() - start
+                point[lane_name] = round(
+                    len(folded_texts) / seconds if seconds > 0 else 0.0, 1
+                )
+                if lane_name == "substring":
+                    expected = hits
+                else:
+                    assert hits == expected, f"{lane_name} diverged at {size} atoms"
+            report["crossover"].append(point)
         return report
 
     report = run_once(benchmark, experiment)

@@ -39,6 +39,8 @@ class PreparedPackage:
         self.package = package
         self.include_metadata_in_text = include_metadata_in_text
         self._yara_text: Optional[str] = None
+        self._folded_text: Optional[str] = None
+        self._folded_bytes: Optional[bytes] = None
         self._target: Optional[ScanTarget] = None
         self._fingerprint: Optional[str] = None
         self._metadata_json: Optional[str] = None
@@ -63,6 +65,33 @@ class PreparedPackage:
             self._yara_text = text
             self.prepare_seconds += time.perf_counter() - start
         return self._yara_text
+
+    @property
+    def folded_text(self) -> str:
+        """``yara_text.casefold()``, computed once per package.
+
+        Every atom-prefilter lane (candidate selection, gate checks, batch
+        hit construction) scans the folded haystack; hoisting the fold here
+        removes the per-engine-lane refolds the index used to pay.
+        """
+        if self._folded_text is None:
+            start = time.perf_counter()
+            self._folded_text = self.yara_text.casefold()
+            self.prepare_seconds += time.perf_counter() - start
+        return self._folded_text
+
+    @property
+    def folded_bytes(self) -> bytes:
+        """UTF-8 encoding of :attr:`folded_text` for the packed automaton.
+
+        Fold *then* encode — byte offsets are never mapped back to the
+        original string, so casefold length changes are safe.
+        """
+        if self._folded_bytes is None:
+            start = time.perf_counter()
+            self._folded_bytes = self.folded_text.encode("utf-8", "surrogatepass")
+            self.prepare_seconds += time.perf_counter() - start
+        return self._folded_bytes
 
     @property
     def target(self) -> ScanTarget:
@@ -228,14 +257,7 @@ class RuleScanner:
         ``record(engine, rule_key, seconds, package)``, e.g. a
         :class:`repro.scanserve.telemetry.RuleCostSample`) receives per-rule
         evaluation timings without changing the detections."""
-        if isinstance(package, PreparedPackage):
-            prepared = package
-            if prepared.include_metadata_in_text != self.include_metadata_in_text:
-                # prepared under a different config: rebuild rather than
-                # silently scanning the wrong haystack
-                prepared = PreparedPackage(prepared.package, self.include_metadata_in_text)
-        else:
-            prepared = PreparedPackage(package, self.include_metadata_in_text)
+        prepared = self._prepare(package)
         started = time.perf_counter()
         prepare_before = prepared.prepare_seconds
         detection = PackageDetection(
@@ -249,7 +271,10 @@ class RuleScanner:
                 # names-only fast path: same verdicts, no RuleMatch payloads
                 names = set(
                     self.index.yara_rule_names(
-                        text, cost_sink=cost_sink, package=detection.package
+                        text,
+                        cost_sink=cost_sink,
+                        package=detection.package,
+                        folded=prepared.folded_text,
                     )
                 )
             elif cost_sink is not None:
@@ -294,11 +319,99 @@ class RuleScanner:
             timings.packages += 1
         return detection
 
+    def _prepare(self, package: Union[Package, PreparedPackage]) -> PreparedPackage:
+        if isinstance(package, PreparedPackage):
+            if package.include_metadata_in_text != self.include_metadata_in_text:
+                # prepared under a different config: rebuild rather than
+                # silently scanning the wrong haystack
+                return PreparedPackage(package.package, self.include_metadata_in_text)
+            return package
+        return PreparedPackage(package, self.include_metadata_in_text)
+
+    def scan_prepared(
+        self,
+        packages: Iterable[Union[Package, PreparedPackage]],
+        timings: ScanTimings | None = None,
+        cost_sink: "object | None" = None,
+    ) -> list[PackageDetection]:
+        """Scan a batch of packages, amortising the atom pass across it.
+
+        With an index attached, one :meth:`RuleIndex.hits_batch` call per
+        engine lane replaces the per-package automaton/substring passes;
+        candidate evaluation then reuses the precomputed folded haystacks
+        and hit sets.  Detections (content *and* order) are identical to
+        calling :meth:`scan_package` per package.
+        """
+        prepared_list = [self._prepare(p) for p in packages]
+        if self.index is None or len(prepared_list) <= 1:
+            return [
+                self.scan_package(p, timings=timings, cost_sink=cost_sink)
+                for p in prepared_list
+            ]
+        prepare_before = [p.prepare_seconds for p in prepared_list]
+        detections = [
+            PackageDetection(
+                package=p.package.identifier,
+                actual_malicious=p.package.is_malicious,
+            )
+            for p in prepared_list
+        ]
+        if self.yara_rules is not None and len(self.yara_rules):
+            batch_start = time.perf_counter()
+            hits_list = self.index.hits_batch([p.folded_bytes for p in prepared_list])
+            share = (time.perf_counter() - batch_start) / len(prepared_list)
+            yara_start = time.perf_counter()
+            for prepared, detection, hits in zip(prepared_list, detections, hits_list):
+                eval_start = time.perf_counter()
+                names = set(
+                    self.index.yara_rule_names(
+                        prepared.yara_text,
+                        cost_sink=cost_sink,
+                        package=detection.package,
+                        folded=prepared.folded_text,
+                        hits=hits,
+                    )
+                )
+                detection.yara_rules = sorted(names)
+                detection.scan_seconds += time.perf_counter() - eval_start + share
+            if timings is not None:
+                timings.yara_seconds += time.perf_counter() - batch_start
+        if self.semgrep_rules is not None and len(self.semgrep_rules):
+            semgrep_start = time.perf_counter()
+            targets = [p.target for p in prepared_list]
+            hits_list = self.index.hits_batch([t.folded_text for t in targets])
+            share = (time.perf_counter() - semgrep_start) / len(prepared_list)
+            for prepared, detection, target, hits in zip(
+                prepared_list, detections, targets, hits_list
+            ):
+                eval_start = time.perf_counter()
+                findings = self.index.match_semgrep(
+                    target, cost_sink=cost_sink, hits=hits
+                )
+                detection.semgrep_rules = sorted(
+                    {finding.rule_id for finding in findings}
+                )
+                detection.scan_seconds += time.perf_counter() - eval_start + share
+            if timings is not None:
+                timings.semgrep_seconds += time.perf_counter() - semgrep_start
+        if timings is not None:
+            for prepared, before in zip(prepared_list, prepare_before):
+                timings.prepare_seconds += prepared.prepare_seconds - before
+            timings.packages += len(prepared_list)
+        return detections
+
     def scan(self, packages: Iterable[Union[Package, PreparedPackage]]) -> DetectionResult:
         result = DetectionResult(match_threshold=self.match_threshold)
         total_start = time.perf_counter()
-        for package in packages:
-            result.detections.append(self.scan_package(package, timings=result.timings))
+        if self.index is not None:
+            result.detections = self.scan_prepared(
+                list(packages), timings=result.timings
+            )
+        else:
+            for package in packages:
+                result.detections.append(
+                    self.scan_package(package, timings=result.timings)
+                )
         result.timings.total_seconds = time.perf_counter() - total_start
         return result
 

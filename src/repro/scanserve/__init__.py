@@ -11,6 +11,9 @@ Aho–Corasick prefilter, registry malware pipelines) reach scale:
   that narrows scanning to a small candidate-rule set (atom-less rules take
   an unconditional fallback lane, so detections stay bit-for-bit identical
   to naive scanning);
+* :mod:`repro.scanserve.packed` — the automaton's hot path: publish-time
+  compiled flat byte-level goto/fail tables (:class:`PackedAutomaton`) with
+  batch scanning and ``to_bytes``/``from_bytes`` serialization;
 * :mod:`repro.scanserve.registry` — versioned rule sets with atomic
   hot-swap and rollback;
 * :mod:`repro.scanserve.cache` — a content-hash result cache keyed on
@@ -42,6 +45,11 @@ from repro.scanserve.index import (
     IndexStats,
     RuleIndex,
 )
+from repro.scanserve.packed import (
+    BATCH_GUARD_LIMIT,
+    DENSE_CELL_BUDGET,
+    PackedAutomaton,
+)
 from repro.scanserve.registry import (
     PublishEvent,
     RulesetRegistry,
@@ -56,6 +64,7 @@ from repro.scanserve.scheduler import (
     BoundedQueue,
     ScanScheduler,
     ShardStats,
+    chunk_items,
     shard_items,
 )
 from repro.scanserve.telemetry import RuleCost, RuleCostSample, RuleCostTracker
@@ -79,6 +88,9 @@ __all__ = [
     "AhoCorasick",
     "IndexStats",
     "RuleIndex",
+    "BATCH_GUARD_LIMIT",
+    "DENSE_CELL_BUDGET",
+    "PackedAutomaton",
     "PublishEvent",
     "RulesetRegistry",
     "RulesetVersion",
@@ -96,6 +108,7 @@ __all__ = [
     "BoundedQueue",
     "ScanScheduler",
     "ShardStats",
+    "chunk_items",
     "shard_items",
     "BatchScanResult",
     "RescanDelta",

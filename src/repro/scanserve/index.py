@@ -1,18 +1,26 @@
 """Atom-prefilter rule index.
 
-:class:`AhoCorasick` is a classic goto/fail automaton over the atom
-vocabulary; one pass over the haystack reports every atom that occurs.
-:class:`RuleIndex` maps those hits back to candidate rules and fully
-evaluates *only* the candidates (plus the fallback lane of rules that
-exposed no atoms), which keeps indexed scanning bit-for-bit identical to
-naive scanning while skipping the vast majority of rule evaluations.
+:class:`AhoCorasick` is the atom vocabulary's multi-pattern matcher; one
+pass over the haystack reports every atom that occurs.  :class:`RuleIndex`
+maps those hits back to candidate rules and fully evaluates *only* the
+candidates (plus the fallback lane of rules that exposed no atoms), which
+keeps indexed scanning bit-for-bit identical to naive scanning while
+skipping the vast majority of rule evaluations.
 
-Performance note: below a few hundred atoms, a per-atom C-speed substring
-scan (``atom in text``) beats stepping a pure-Python automaton through the
-haystack character by character, so :meth:`AhoCorasick.find` picks the
-strategy by vocabulary size.  Both strategies return identical hit sets
-(property-tested); the automaton is the asymptotic lane for large registries
-of rules.
+The hot path is the packed byte-level automaton
+(:class:`repro.scanserve.packed.PackedAutomaton`): flat ``array('i')``
+goto/fail tables compiled once at construction (i.e. at registry publish
+time), walked over ``bytes`` with no per-position dict lookups, and
+serializable so shard workers attach without recompiling.  The historical
+dict-of-dicts walk survives as :meth:`AhoCorasick.find_automaton` — the
+readable reference the property tests hold the packed tables to.
+
+Lane selection: below ``automaton_threshold`` atoms a per-atom C-speed
+substring scan (``atom in text``) still beats walking any pure-Python
+automaton, so :meth:`AhoCorasick.find` picks the strategy by vocabulary
+size.  Batch scans (:meth:`AhoCorasick.find_batch`) amortise setup across
+the whole batch and pick their own lane internally.  All lanes return
+identical hit sets (property-tested).
 """
 
 from __future__ import annotations
@@ -20,7 +28,7 @@ from __future__ import annotations
 import time
 from collections import deque
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from typing import Iterable, List, Optional, Sequence, Set, Union
 
 from repro.scanserve.atoms import (
     DEFAULT_MIN_ATOM_LENGTH,
@@ -28,17 +36,21 @@ from repro.scanserve.atoms import (
     semgrep_rule_atoms,
     yara_rule_atoms,
 )
+from repro.scanserve.packed import PackedAutomaton
 from repro.semgrepx.compiler import CompiledSemgrepRule, CompiledSemgrepRuleSet
 from repro.semgrepx.matcher import ScanTarget, SemgrepFinding
 from repro.yarax import ast_nodes as yast
 from repro.yarax.compiler import CompiledRule, CompiledRuleSet
 from repro.yarax.matcher import CompiledString, ConditionEvaluator, RuleMatch
 
-# below this many atoms, per-atom ``str.find`` (C speed) beats the
-# pure-Python automaton walk; above it the O(n) automaton wins.  The
+# below this many atoms, per-atom ``str.find`` (C speed) beats even the
+# packed automaton walk for a *single* text; above it the O(n) automaton
+# wins.  Re-tuned for the packed byte-level tables against the crossover
+# sweep in ``benchmarks/test_bench_scan_throughput.py``: the dict walk
+# crossed over near ~1300 atoms, the packed walk crosses near ~190.  The
 # crossover is hardware-dependent, so it is a tunable: see
 # ``ScanServiceConfig.automaton_threshold`` / ``RuleIndex``.
-AUTOMATON_THRESHOLD = 512
+AUTOMATON_THRESHOLD = 192
 
 #: Lane names reported by :attr:`AhoCorasick.lane` / :meth:`RuleIndex.stats`.
 AUTOMATON_LANE = "automaton"
@@ -46,7 +58,15 @@ SUBSTRING_LANE = "substring"
 
 
 class AhoCorasick:
-    """Multi-pattern literal matcher (goto/fail automaton)."""
+    """Multi-pattern literal matcher.
+
+    The public contract is unchanged from the dict-of-dicts original:
+    ``find(text)`` returns the ids of every word occurring in ``text``.
+    Internally the automaton lane now runs on packed byte-level tables;
+    the dict trie is only materialised on demand for
+    :meth:`find_automaton`, the reference implementation kept for
+    property-testing and debugging.
+    """
 
     def __init__(
         self, words: Iterable[str], automaton_threshold: Optional[int] = None
@@ -62,52 +82,59 @@ class AhoCorasick:
             if word not in seen:
                 seen[word] = len(self.words)
                 self.words.append(word)
-        # trie: per-state dict of char -> next state
-        self._goto: list[dict[str, int]] = [{}]
-        self._output: list[list[int]] = [[]]
-        for word_id, word in enumerate(self.words):
-            state = 0
-            for char in word:
-                nxt = self._goto[state].get(char)
-                if nxt is None:
-                    nxt = len(self._goto)
-                    self._goto[state][char] = nxt
-                    self._goto.append({})
-                    self._output.append([])
-                state = nxt
-            self._output[state].append(word_id)
-        # BFS failure links; outputs are merged so a state reports every
-        # word ending at it (including proper suffixes)
-        self._fail: list[int] = [0] * len(self._goto)
-        queue: deque[int] = deque()
-        for state in self._goto[0].values():
-            queue.append(state)
-        while queue:
-            state = queue.popleft()
-            for char, nxt in self._goto[state].items():
-                queue.append(nxt)
-                fallback = self._fail[state]
-                while fallback and char not in self._goto[fallback]:
-                    fallback = self._fail[fallback]
-                self._fail[nxt] = self._goto[fallback].get(char, 0)
-                if self._fail[nxt] == nxt:
-                    self._fail[nxt] = 0
-                self._output[nxt].extend(self._output[self._fail[nxt]])
+        self.packed = PackedAutomaton(self.words)
+        # dict trie (reference lane) is built lazily — the packed tables
+        # carry the hot path and the service never needs the dict form
+        self._trie: Optional[tuple[list[dict[str, int]], list[int], list[list[int]]]] = None
 
     def __len__(self) -> int:
         return len(self.words)
 
     @property
     def state_count(self) -> int:
-        return len(self._goto)
+        return self.packed.state_count
+
+    # -- reference dict trie ------------------------------------------------------
+    def _dict_trie(self) -> tuple[list[dict[str, int]], list[int], list[list[int]]]:
+        if self._trie is None:
+            goto: list[dict[str, int]] = [{}]
+            output: list[list[int]] = [[]]
+            for word_id, word in enumerate(self.words):
+                state = 0
+                for char in word:
+                    nxt = goto[state].get(char)
+                    if nxt is None:
+                        nxt = len(goto)
+                        goto[state][char] = nxt
+                        goto.append({})
+                        output.append([])
+                    state = nxt
+                output[state].append(word_id)
+            # BFS failure links; outputs are merged so a state reports every
+            # word ending at it (including proper suffixes)
+            fail: list[int] = [0] * len(goto)
+            queue: deque[int] = deque(goto[0].values())
+            while queue:
+                state = queue.popleft()
+                for char, nxt in goto[state].items():
+                    queue.append(nxt)
+                    fallback = fail[state]
+                    while fallback and char not in goto[fallback]:
+                        fallback = fail[fallback]
+                    fail[nxt] = goto[fallback].get(char, 0)
+                    if fail[nxt] == nxt:
+                        fail[nxt] = 0
+                    output[nxt].extend(output[fail[nxt]])
+            self._trie = (goto, fail, output)
+        return self._trie
 
     # -- scanning ---------------------------------------------------------------
     def find_automaton(self, text: str) -> set[int]:
-        """One automaton pass; returns the ids of every word occurring in text."""
+        """Reference dict-trie pass; same hit set as the packed tables."""
+        goto, fail, output = self._dict_trie()
         hits: set[int] = set()
         pending = len(self.words)
         state = 0
-        goto, fail, output = self._goto, self._fail, self._output
         for char in text:
             while state and char not in goto[state]:
                 state = fail[state]
@@ -125,6 +152,10 @@ class AhoCorasick:
         """Per-atom C-speed substring scan; same result as the automaton."""
         return {i for i, word in enumerate(self.words) if word in text}
 
+    def find_packed(self, text: str) -> set[int]:
+        """Packed byte-level pass (the automaton lane's actual hot path)."""
+        return self.packed.find(text)
+
     @property
     def lane(self) -> str:
         """Which scan strategy :meth:`find` uses for this vocabulary size."""
@@ -134,8 +165,23 @@ class AhoCorasick:
 
     def find(self, text: str) -> set[int]:
         if self.lane == AUTOMATON_LANE:
-            return self.find_automaton(text)
+            return self.packed.find(text)
         return self.find_substring(text)
+
+    def find_batch(self, texts: Sequence[Union[str, bytes]]) -> List[Set[int]]:
+        """Per-text hit sets with batch-amortised setup.
+
+        Equivalent to ``[self.find(t) for t in texts]``; the packed
+        automaton picks the joined-substring or DFA-walk lane internally
+        by guard count, so this is the right call at *any* vocabulary
+        size.  Accepts pre-encoded ``bytes`` haystacks.
+        """
+        return self.packed.find_batch(texts)
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state["_trie"] = None  # reference trie is derived; rebuild on demand
+        return state
 
 
 class _LazyConditionEvaluator(ConditionEvaluator):
@@ -146,21 +192,46 @@ class _LazyConditionEvaluator(ConditionEvaluator):
     the scanned text is known unmatchable without running its regex at all;
     the remaining strings are probed lazily — an existence check
     (``re.search``, early exit) unless the condition genuinely needs a count.
-    The verdict is exactly :class:`ConditionEvaluator`'s (corpus- and
-    property-tested); only the work to reach it changes.
+    Probes are ordered cheapest-first (blocked strings are free ``False``,
+    plain literals are C-speed ``in``, regexes last) and results are shared
+    across the rules of one package through ``probe_memo`` — registry rule
+    sets repeat the same literals and patterns constantly.  The verdict is
+    exactly :class:`ConditionEvaluator`'s (corpus- and property-tested);
+    only the work to reach it changes.
     """
 
-    def __init__(self, strings: list[CompiledString], data: str, blocked: set[str]) -> None:
+    def __init__(
+        self,
+        strings: list[CompiledString],
+        data: str,
+        blocked: set[str],
+        identifiers: Optional[list[str]] = None,
+        probe_memo: Optional[dict] = None,
+        probe_rank: Optional[dict[str, int]] = None,
+    ) -> None:
+        if identifiers is None:
+            identifiers = [cs.identifier for cs in strings]
         super().__init__(
             matches_by_id={},
-            all_identifiers=[cs.identifier for cs in strings],
+            all_identifiers=identifiers,
             data_length=len(data),
         )
         self._strings = {cs.identifier: cs for cs in strings}
         self._data = data
         self._blocked = blocked
+        self._memo = probe_memo if probe_memo is not None else {}
+        self._rank = probe_rank
         self._exists: dict[str, bool] = {}
         self._counts: dict[str, int] = {}
+
+    def _probe_order(self, identifiers: list[str]) -> list[str]:
+        rank = self._rank
+        if rank is None:
+            return identifiers
+        blocked = self._blocked
+        return sorted(
+            identifiers, key=lambda i: 0 if i in blocked else rank.get(i, 2)
+        )
 
     def _string_exists(self, identifier: str) -> bool:
         cached = self._exists.get(identifier)
@@ -168,7 +239,17 @@ class _LazyConditionEvaluator(ConditionEvaluator):
             if identifier in self._blocked or identifier not in self._strings:
                 cached = False
             else:
-                cached = self._strings[identifier].search(self._data)
+                compiled = self._strings[identifier]
+                plain = compiled._plain_value
+                if plain is not None:
+                    key = ("p", plain)
+                else:
+                    regex = compiled._regex
+                    key = ("r", regex.pattern, regex.flags)
+                cached = self._memo.get(key)
+                if cached is None:
+                    cached = compiled.search(self._data)
+                    self._memo[key] = cached
             self._exists[identifier] = cached
         return cached
 
@@ -178,8 +259,14 @@ class _LazyConditionEvaluator(ConditionEvaluator):
             if identifier in self._blocked or identifier not in self._strings:
                 cached = 0
             else:
-                # same 1000-occurrence cap as CompiledString.find's default
-                cached = len(self._strings[identifier].find(self._data))
+                compiled = self._strings[identifier]
+                regex = compiled._regex
+                key = ("c", regex.pattern, regex.flags)
+                cached = self._memo.get(key)
+                if cached is None:
+                    # same 1000-occurrence cap as CompiledString.find's default
+                    cached = len(compiled.find(self._data))
+                    self._memo[key] = cached
             self._counts[identifier] = cached
         return cached
 
@@ -202,6 +289,9 @@ class _LazyConditionEvaluator(ConditionEvaluator):
                 else:
                     identifiers.append(member)
         total = len(identifiers)
+        # probe order never changes the verdict (pure existence), only the
+        # expected cost to reach it
+        identifiers = self._probe_order(identifiers)
         if expr.quantifier == "any":
             return any(self._string_exists(i) for i in identifiers)
         if expr.quantifier == "all":
@@ -230,6 +320,9 @@ class IndexStats:
     automaton_states: int = 0
     lane: str = SUBSTRING_LANE
     automaton_threshold: int = AUTOMATON_THRESHOLD
+    packed_mode: str = "dense"
+    packed_memory_bytes: int = 0
+    batch_guards: int = 0
 
     @property
     def indexed_fraction(self) -> float:
@@ -246,6 +339,15 @@ class RuleIndex:
     ``CompiledRuleSet.match`` / ``CompiledSemgrepRuleSet.match_target``
     would, in the same order — rules whose atoms did not occur are provably
     unable to fire and are skipped without evaluation.
+
+    The packed atom tables are compiled once here (construction == registry
+    publish time) and the whole index pickles, so process-pool shard
+    workers receive ready-made tables instead of re-deriving them.
+
+    The scanning entry points accept optional precomputed forms so batch
+    callers stop re-folding and re-scanning the same text per engine lane:
+    ``folded`` is ``text.casefold()`` and ``hits`` an atom hit set from
+    :meth:`hits` / :meth:`hits_batch`.
     """
 
     def __init__(
@@ -289,17 +391,28 @@ class RuleIndex:
         # suffices): a candidate whose sets are all incomplete in the text
         # cannot fire and skips structural matching entirely
         self._semgrep_required: list[tuple[tuple[str, ...], ...]] = []
+        # per-rule prebuilt evaluation data: identifier list and probe cost
+        # rank (1 = plain literal via C-speed ``in``, 2 = regex), so the
+        # lazy evaluator does not re-derive them for every package
+        self._yara_eval: list[tuple[list[str], dict[str, int]]] = []
 
         for position, rule in enumerate(yara.rules if yara is not None else []):
             register(yara_rule_atoms(rule, min_atom_length), "yara", position)
             gates: dict[str, str] = {}
+            ranks: dict[str, int] = {}
+            identifiers: list[str] = []
             for compiled_string in rule.strings:
+                identifiers.append(compiled_string.identifier)
+                ranks[compiled_string.identifier] = (
+                    1 if compiled_string._plain_value is not None else 2
+                )
                 string_atoms = compiled_string.atoms(min_atom_length)
                 if string_atoms:
                     gates[compiled_string.identifier] = max(
                         string_atoms, key=len
                     ).casefold()
             self._yara_gates.append(gates)
+            self._yara_eval.append((identifiers, ranks))
         for position, rule in enumerate(semgrep.rules if semgrep is not None else []):
             atoms = semgrep_rule_atoms(rule, min_atom_length)
             register(atoms, "semgrep", position)
@@ -317,6 +430,20 @@ class RuleIndex:
             word: word_id for word_id, word in enumerate(self._automaton.words)
         }
 
+    # -- atom scanning ------------------------------------------------------------
+    def hits(self, folded: str) -> set[int]:
+        """Atom hit set for one already-casefolded text."""
+        return self._automaton.find(folded)
+
+    def hits_batch(self, folded_texts: Sequence[Union[str, bytes]]) -> List[Set[int]]:
+        """Atom hit sets for a batch of already-casefolded texts.
+
+        One batch-amortised pass (see :meth:`AhoCorasick.find_batch`); feed
+        the per-text sets back into the scanning entry points as ``hits=``.
+        Accepts pre-encoded UTF-8 ``bytes`` haystacks.
+        """
+        return self._automaton.find_batch(folded_texts)
+
     # -- candidate selection ------------------------------------------------------
     def _positions(self, hits: set[int], engine: str, fallback: list[int]) -> list[int]:
         positions = set(fallback)
@@ -326,15 +453,40 @@ class RuleIndex:
                     positions.add(position)
         return sorted(positions)
 
-    def candidate_yara_rules(self, text: str) -> list[CompiledRule]:
+    def candidate_yara_rules(
+        self,
+        text: str,
+        folded: Optional[str] = None,
+        hits: Optional[set[int]] = None,
+    ) -> list[CompiledRule]:
         """The only YARA rules that can possibly fire on ``text`` (in rule order)."""
         if self.yara is None:
             return []
-        hits = self._automaton.find(text.casefold())
+        if hits is None:
+            hits = self._automaton.find(text.casefold() if folded is None else folded)
         rules = self.yara.rules
         return [rules[i] for i in self._positions(hits, "yara", self._fallback_yara)]
 
-    def candidate_semgrep_rules(self, target: ScanTarget) -> list[CompiledSemgrepRule]:
+    def candidates_batch(self, folded_texts: Sequence[str]) -> list[list[CompiledRule]]:
+        """Per-text YARA candidate lists for a whole batch of folded texts.
+
+        Equivalent to calling :meth:`candidate_yara_rules` per text, with
+        the atom pass amortised across the batch.
+        """
+        if self.yara is None:
+            return [[] for _ in folded_texts]
+        rules = self.yara.rules
+        return [
+            [rules[i] for i in self._positions(hits, "yara", self._fallback_yara)]
+            for hits in self.hits_batch(folded_texts)
+        ]
+
+    def candidate_semgrep_rules(
+        self,
+        target: ScanTarget,
+        folded: Optional[str] = None,
+        hits: Optional[set[int]] = None,
+    ) -> list[CompiledSemgrepRule]:
         """The only Semgrep rules that can possibly fire on ``target``.
 
         Two-stage prefilter: atom candidacy (any representative atom
@@ -344,8 +496,10 @@ class RuleIndex:
         """
         if self.semgrep is None:
             return []
-        folded = target.text.casefold()
-        hits = self._automaton.find(folded)
+        if folded is None:
+            folded = target.folded_text
+        if hits is None:
+            hits = self._automaton.find(folded)
         member_cache: dict[str, bool] = {}
 
         def present(member: str) -> bool:
@@ -373,7 +527,12 @@ class RuleIndex:
 
     # -- full matching ------------------------------------------------------------
     def _firing_positions(
-        self, text: str, cost_sink=None, package: str = ""
+        self,
+        text: str,
+        cost_sink=None,
+        package: str = "",
+        folded: Optional[str] = None,
+        hits: Optional[set[int]] = None,
     ) -> list[int]:
         """Positions of the YARA rules whose conditions hold on ``text``.
 
@@ -381,16 +540,21 @@ class RuleIndex:
         rules, then each candidate's condition is decided by the lazy
         evaluator — strings whose gate literal is absent are unmatchable
         without running their regex, the rest are existence-probed with early
-        exit.  The verdicts are exactly those of naive scanning.
+        exit.  String probes are shared across this package's candidates
+        (registry rule sets repeat literals and patterns constantly).  The
+        verdicts are exactly those of naive scanning.
 
         ``cost_sink`` (``record(engine, rule_key, seconds, package)``)
         receives the per-candidate evaluation time for telemetry.
         """
-        folded = text.casefold()
-        hits = self._automaton.find(folded)
+        if folded is None:
+            folded = text.casefold()
+        if hits is None:
+            hits = self._automaton.find(folded)
         # gate literals that double as candidacy atoms were just scanned;
         # the rest are membership-checked on demand, memoised per call
         gate_cache: dict[str, bool] = {}
+        probe_memo: dict = {}
         firing: list[int] = []
         rules = self.yara.rules
         for position in self._positions(hits, "yara", self._fallback_yara):
@@ -408,7 +572,15 @@ class RuleIndex:
                         gate_cache[atom] = present
                 if not present:
                     blocked.add(identifier)
-            evaluator = _LazyConditionEvaluator(rule.strings, text, blocked)
+            identifiers, ranks = self._yara_eval[position]
+            evaluator = _LazyConditionEvaluator(
+                rule.strings,
+                text,
+                blocked,
+                identifiers=identifiers,
+                probe_memo=probe_memo,
+                probe_rank=ranks,
+            )
             if rule.ast.condition is not None and evaluator.evaluate(rule.ast.condition):
                 firing.append(position)
             if cost_sink is not None:
@@ -418,7 +590,12 @@ class RuleIndex:
         return firing
 
     def yara_rule_names(
-        self, text: str, cost_sink=None, package: str = ""
+        self,
+        text: str,
+        cost_sink=None,
+        package: str = "",
+        folded: Optional[str] = None,
+        hits: Optional[set[int]] = None,
     ) -> list[str]:
         """Names of the YARA rules that fire on ``text`` (in rule order).
 
@@ -431,7 +608,9 @@ class RuleIndex:
         rules = self.yara.rules
         return [
             rules[position].name
-            for position in self._firing_positions(text, cost_sink, package)
+            for position in self._firing_positions(
+                text, cost_sink, package, folded=folded, hits=hits
+            )
         ]
 
     def match_yara(self, text: str) -> list[RuleMatch]:
@@ -451,10 +630,16 @@ class RuleIndex:
                 results.append(found)
         return results
 
-    def match_semgrep(self, target: ScanTarget, cost_sink=None) -> list[SemgrepFinding]:
+    def match_semgrep(
+        self,
+        target: ScanTarget,
+        cost_sink=None,
+        folded: Optional[str] = None,
+        hits: Optional[set[int]] = None,
+    ) -> list[SemgrepFinding]:
         """Identical to ``CompiledSemgrepRuleSet.match_target(target)``."""
         findings: list[SemgrepFinding] = []
-        for rule in self.candidate_semgrep_rules(target):
+        for rule in self.candidate_semgrep_rules(target, folded=folded, hits=hits):
             started = time.perf_counter() if cost_sink is not None else 0.0
             findings.extend(rule.match_target(target))
             if cost_sink is not None:
@@ -472,6 +657,7 @@ class RuleIndex:
     def stats(self) -> IndexStats:
         yara_total = len(self.yara.rules) if self.yara is not None else 0
         semgrep_total = len(self.semgrep.rules) if self.semgrep is not None else 0
+        packed = self._automaton.packed
         return IndexStats(
             yara_rules=yara_total,
             yara_indexed=yara_total - len(self._fallback_yara),
@@ -481,6 +667,9 @@ class RuleIndex:
             automaton_states=self._automaton.state_count,
             lane=self._automaton.lane,
             automaton_threshold=self._automaton.automaton_threshold,
+            packed_mode=packed.mode,
+            packed_memory_bytes=packed.memory_bytes,
+            batch_guards=packed.guard_count,
         )
 
     def fallback_reasons(self) -> dict[str, str]:

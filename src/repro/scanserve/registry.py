@@ -31,6 +31,7 @@ registry.
 
 from __future__ import annotations
 
+import pickle
 import threading
 import time
 import uuid
@@ -112,6 +113,33 @@ class RulesetVersion:
             f"v{self.version}{label}{lineage}: {self.rule_count} rules, "
             f"{stats.atoms} atoms, {stats.indexed_fraction:.0%} indexed{shards}"
         )
+
+    # -- serialization ------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """The published version — compiled rules, packed index, provenance —
+        as one self-contained blob.
+
+        This is what process-pool shard workers receive: one
+        :meth:`from_bytes` call attaches them to the exact tables the
+        registry compiled at publish time, instead of re-deriving the index
+        per worker.  The packed automaton inside serialises via its own
+        table format (see :mod:`repro.scanserve.packed`), not by walking
+        its object graph.
+        """
+        return _VERSION_BLOB_MAGIC + pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "RulesetVersion":
+        if not blob.startswith(_VERSION_BLOB_MAGIC):
+            raise ValueError("not a RulesetVersion blob")
+        version = pickle.loads(blob[len(_VERSION_BLOB_MAGIC):])
+        if not isinstance(version, cls):
+            raise ValueError(f"blob decoded to {type(version).__name__}, not {cls.__name__}")
+        return version
+
+
+_VERSION_BLOB_MAGIC = b"RSV1"
+_REGISTRY_BLOB_MAGIC = b"RSREG1"
 
 
 @dataclass(frozen=True)
@@ -606,3 +634,45 @@ class RulesetRegistry:
             for version in sorted(self._retired):
                 lines.append(f"x {self._retired[version].describe()}")
         return "\n".join(lines) if lines else "(empty registry)"
+
+    # -- serialization ------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Snapshot the whole registry — every live version with its compiled
+        rules and packed indexes, the current pointer, tombstones — as one
+        blob a fresh process restores with :meth:`from_bytes`.
+
+        Runtime-only state is deliberately excluded: subscribers (callbacks
+        into the snapshotting process) and the lock are rebuilt empty/fresh
+        on restore.  This is the attach-without-recompiling groundwork the
+        durable-registry item needs; shard workers use the lighter
+        per-version :meth:`RulesetVersion.to_bytes`.
+        """
+        with self._lock:
+            state = {
+                "min_atom_length": self.min_atom_length,
+                "automaton_threshold": self.automaton_threshold,
+                "namespace": self.namespace,
+                "versions": dict(self._versions),
+                "current": self._current,
+                "next_version": self._next_version,
+                "retired": dict(self._retired),
+            }
+        return _REGISTRY_BLOB_MAGIC + pickle.dumps(
+            state, protocol=pickle.HIGHEST_PROTOCOL
+        )
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "RulesetRegistry":
+        if not blob.startswith(_REGISTRY_BLOB_MAGIC):
+            raise ValueError("not a RulesetRegistry blob")
+        state = pickle.loads(blob[len(_REGISTRY_BLOB_MAGIC):])
+        registry = cls(
+            min_atom_length=state["min_atom_length"],
+            automaton_threshold=state["automaton_threshold"],
+            namespace=state["namespace"],
+        )
+        registry._versions = state["versions"]
+        registry._current = state["current"]
+        registry._next_version = state["next_version"]
+        registry._retired = state["retired"]
+        return registry

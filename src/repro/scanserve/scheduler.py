@@ -59,6 +59,25 @@ def shard_items(items: Sequence[ItemT], num_shards: int) -> list[list[tuple[int,
     return [shard for shard in shards if shard]
 
 
+def chunk_items(
+    items: Sequence[tuple[int, ItemT]], chunk_size: int
+) -> list[list[tuple[int, ItemT]]]:
+    """Slice position-tagged items into contiguous chunks of ``chunk_size``.
+
+    The batch-dispatch counterpart of :func:`shard_items`: a chunk is one
+    worker *task* (scanned as a single batch, so per-task setup — worker
+    round trip, atom pass — amortises over the whole chunk), whereas a
+    shard is one worker's total allotment.  Contiguous slices keep cache
+    locality for prepared packages built in input order.
+    """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be positive")
+    return [
+        list(items[start : start + chunk_size])
+        for start in range(0, len(items), chunk_size)
+    ]
+
+
 @dataclass
 class SchedulerReport:
     """What a scheduler run did, for service-level stats."""

@@ -22,6 +22,7 @@ ring.
 from __future__ import annotations
 
 import json
+import multiprocessing
 import threading
 import time
 from collections import OrderedDict
@@ -42,7 +43,15 @@ from repro.scanserve.registry import (
     RulesetRegistry,
     RulesetVersion,
 )
-from repro.scanserve.scheduler import AUTO, ScanScheduler, SchedulerReport, ShardStats
+from repro.scanserve.scheduler import (
+    AUTO,
+    INPROCESS,
+    PROCESS,
+    ScanScheduler,
+    SchedulerReport,
+    ShardStats,
+    chunk_items,
+)
 from repro.scanserve.telemetry import RuleCost, RuleCostSample, RuleCostTracker
 
 # -- worker-side state -------------------------------------------------------------
@@ -52,16 +61,46 @@ from repro.scanserve.telemetry import RuleCost, RuleCostSample, RuleCostTracker
 _WORKER_SCANNER: Optional[RuleScanner] = None
 _WORKER_TRACK_COSTS: bool = False
 
+#: Sentinel telling ``_worker_init`` to read the payload from
+#: ``_PARENT_PAYLOAD`` instead of its argument — the fork-lane fast path.
+_INHERIT_PAYLOAD = "__inherit_from_parent__"
+
+# Live ``(yara, semgrep, index)`` objects staged by the parent immediately
+# before the pool forks.  Fork children inherit this module's globals
+# copy-on-write, so no pickling, no blob transfer, and no regex recompile
+# happens per worker.  Spawn-style platforms never see it and take the
+# ``RulesetVersion.to_bytes()`` blob instead.
+_PARENT_PAYLOAD = None
+
 
 def _worker_init(
-    yara,
-    semgrep,
-    index,
+    ruleset,
     match_threshold: int,
     include_metadata_in_text: bool,
     track_rule_costs: bool = False,
 ) -> None:
+    """Attach this worker to a published ruleset.
+
+    ``ruleset`` is one of:
+
+    * the :data:`_INHERIT_PAYLOAD` sentinel — the worker was forked from a
+      parent that staged live objects in :data:`_PARENT_PAYLOAD`; attach to
+      the inherited compiled rules and packed index with zero serialization;
+    * a :meth:`RulesetVersion.to_bytes` blob — the spawn-safe lane ships one
+      per worker, and the worker attaches to the publish-time compiled rules
+      *and packed index* without re-deriving anything;
+    * an ``(yara, semgrep, index)`` tuple of live objects for the in-process
+      lane (no serialization round trip needed there).
+    """
     global _WORKER_SCANNER, _WORKER_TRACK_COSTS
+    if isinstance(ruleset, str) and ruleset == _INHERIT_PAYLOAD:
+        assert _PARENT_PAYLOAD is not None, "no staged payload inherited"
+        yara, semgrep, index = _PARENT_PAYLOAD
+    elif isinstance(ruleset, (bytes, bytearray)):
+        version = RulesetVersion.from_bytes(bytes(ruleset))
+        yara, semgrep, index = version.yara, version.semgrep, version.index
+    else:
+        yara, semgrep, index = ruleset
     _WORKER_SCANNER = RuleScanner(
         yara_rules=yara,
         semgrep_rules=semgrep,
@@ -75,17 +114,17 @@ def _worker_init(
 def _scan_shard(
     shard: list[tuple[int, "Package | PreparedPackage"]],
 ) -> tuple[list, ScanTimings, float, Optional[RuleCostSample]]:
-    """Scan one shard; returns (indexed detections, timings, seconds, costs)."""
+    """Scan one chunk as a batch; returns (indexed detections, timings, seconds, costs)."""
     assert _WORKER_SCANNER is not None, "worker not initialised"
     started = time.perf_counter()
     timings = ScanTimings()
     costs = RuleCostSample() if _WORKER_TRACK_COSTS else None
+    scanned = _WORKER_SCANNER.scan_prepared(
+        [package for _, package in shard], timings=timings, cost_sink=costs
+    )
     detections = [
-        (
-            position,
-            _WORKER_SCANNER.scan_package(package, timings=timings, cost_sink=costs),
-        )
-        for position, package in shard
+        (position, detection)
+        for (position, _), detection in zip(shard, scanned)
     ]
     return detections, timings, time.perf_counter() - started, costs
 
@@ -108,6 +147,9 @@ class ScanServiceConfig:
     automaton_threshold: Optional[int] = None  # atom count where the index
     # switches from per-atom substring scans to the Aho–Corasick automaton
     # (None = the engine default); applies to registries this service creates
+    chunk_size: Optional[int] = None  # packages per worker task; a chunk is
+    # scanned as one batch (atom pass amortised).  None = one contiguous
+    # chunk per shard; smaller chunks pipeline better on uneven packages
     recency_window: int = 256  # fingerprints remembered for live re-scan (0 = off)
     live_rescan: bool = False  # subscribe to the registry and re-scan on publish
 
@@ -297,6 +339,9 @@ class ScanService:
         self._subscription: Optional[int] = None
         self._on_delta: Optional[Callable[[RescanDelta], None]] = None
         self.rescans: list[RescanDelta] = []
+        # serialized-version cache for process-pool worker init (one blob per
+        # ruleset version, rebuilt only after a publish changes the version)
+        self._version_blobs: "OrderedDict[int, bytes]" = OrderedDict()
         if self.config.live_rescan:
             self.enable_live_rescan()  # raises when the cache is disabled
 
@@ -315,6 +360,43 @@ class ScanService:
         the prefilter index skipped cost nothing and never appear.
         """
         return self.rule_costs.top_slow_rules(n, by=by)
+
+    def _ruleset_payload(self, ruleset: RulesetVersion, worker_count: int):
+        """What ``_worker_init`` receives for this batch.
+
+        The in-process lane gets the live objects (zero-copy).  When the
+        scheduler may spin up a process pool there are two lanes:
+
+        * on ``fork`` platforms the live objects are staged in
+          ``_PARENT_PAYLOAD`` right before the pool forks, so every worker
+          inherits the publish-time compiled rules and packed index
+          copy-on-write — no pickling, no regex recompile;
+        * otherwise the publish-time compiled version is shipped as one
+          ``to_bytes()`` blob per worker — cached per version, so repeat
+          batches against the same ruleset serialize once.
+
+        Naive mode (``use_index=False``) ships bare rule sets without the
+        index either way.
+        """
+        global _PARENT_PAYLOAD
+        index = ruleset.index if self.config.use_index else None
+        may_fork_pool = self.config.mode != INPROCESS and (
+            worker_count > 1 or self.config.mode == PROCESS
+        )
+        if not may_fork_pool:
+            return (ruleset.yara, ruleset.semgrep, index)
+        if multiprocessing.get_start_method() == "fork":
+            _PARENT_PAYLOAD = (ruleset.yara, ruleset.semgrep, index)
+            return _INHERIT_PAYLOAD
+        if not self.config.use_index:
+            return (ruleset.yara, ruleset.semgrep, None)
+        blob = self._version_blobs.get(ruleset.version)
+        if blob is None:
+            blob = ruleset.to_bytes()
+            self._version_blobs[ruleset.version] = blob
+            while len(self._version_blobs) > 4:
+                self._version_blobs.popitem(last=False)
+        return blob
 
     # -- scanning ------------------------------------------------------------------
     def scan_package(self, package: Package) -> PackageDetection:
@@ -374,24 +456,31 @@ class ScanService:
         else:
             to_scan = list(enumerate(packages))
 
-        # 2. shard the remainder across the worker pool
+        # 2. chunk the remainder across the worker pool.  A chunk is one
+        # worker task scanned as a single batch (the atom pass amortises
+        # over it); the default is one contiguous chunk per shard, so each
+        # worker receives exactly one task instead of per-package round
+        # trips.
         shard_stats: list[ShardStats] = []
         report = SchedulerReport()
         if to_scan:
             num_shards = max(1, self.config.shards)
-            shards = [to_scan[i::num_shards] for i in range(num_shards)]
-            shards = [shard for shard in shards if shard]
+            chunk_size = self.config.chunk_size
+            if chunk_size is None or chunk_size < 1:
+                chunk_size = -(-len(to_scan) // num_shards)  # ceil division
+            chunks = chunk_items(to_scan, chunk_size)
             scheduler = ScanScheduler(
-                mode=self.config.mode, max_workers=self.config.max_workers
+                mode=self.config.mode,
+                # chunks may outnumber shards (small chunk_size); the shard
+                # count stays the parallelism bound
+                max_workers=self.config.max_workers or num_shards,
             )
             report = scheduler.run(
-                shards,
+                chunks,
                 _scan_shard,
                 init_fn=_worker_init,
                 init_args=(
-                    ruleset.yara,
-                    ruleset.semgrep,
-                    ruleset.index if self.config.use_index else None,
+                    self._ruleset_payload(ruleset, worker_count=len(chunks)),
                     self.config.match_threshold,
                     self.config.include_metadata_in_text,
                     self.config.track_rule_costs,

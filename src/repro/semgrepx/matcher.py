@@ -47,6 +47,7 @@ class ScanTarget:
     name: str
     files: list[ParsedFile] = field(default_factory=list)
     _haystack: str = ""
+    _folded: Optional[str] = None
 
     @classmethod
     def from_files(cls, name: str, files: Iterable[tuple[str, str]]) -> "ScanTarget":
@@ -88,3 +89,10 @@ class ScanTarget:
     @property
     def text(self) -> str:
         return self._haystack
+
+    @property
+    def folded_text(self) -> str:
+        """``text.casefold()``, computed once — the prefilter's haystack."""
+        if self._folded is None:
+            self._folded = self._haystack.casefold()
+        return self._folded

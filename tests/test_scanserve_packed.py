@@ -1,0 +1,313 @@
+"""Packed automaton parity: the flat-table hot path vs both reference lanes.
+
+The contract the packed tables must honour is exact: for every vocabulary
+and every haystack, ``PackedAutomaton.find`` equals the dict-trie
+``AhoCorasick.find_automaton`` equals the per-atom substring lane — and the
+batch lane equals mapping ``find`` over the batch.  Serialization
+(``to_bytes``/``from_bytes`` and pickle) must restore tables that produce
+identical hit sets and stats without re-running construction.
+"""
+
+import pickle
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.scanserve import AhoCorasick, PackedAutomaton, RuleIndex
+from repro.scanserve.packed import GUARD_PREFIX_LENGTH
+from repro.scanserve.registry import RulesetRegistry, RulesetVersion
+from repro.yarax import compile_source
+
+_slow = settings(
+    max_examples=60, suppress_health_check=[HealthCheck.too_slow], deadline=None
+)
+
+# alphabets chosen to force overlapping atoms, shared prefixes/suffixes, and
+# casefold length changes (ß -> ss, ﬅ -> st); words and haystacks draw from
+# the same pool so matches are common, not vanishingly rare
+_CHARS = "abßcﬅ𝕏日_"
+_words = st.lists(
+    st.text(alphabet=_CHARS, min_size=1, max_size=6), min_size=1, max_size=12
+)
+_haystack = st.text(alphabet=_CHARS, max_size=64)
+
+
+def _reference(words, text):
+    """Oracle: per-word Python substring check."""
+    return {i for i, w in enumerate(dict.fromkeys(words)) if w in text}
+
+
+# -- single-text parity -------------------------------------------------------------
+
+
+class TestFindParity:
+    @_slow
+    @given(_words, _haystack)
+    def test_packed_equals_dict_equals_substring(self, words, text):
+        auto = AhoCorasick(words)
+        expected = auto.find_substring(text)
+        assert auto.find_automaton(text) == expected
+        assert auto.packed.find(text) == expected
+        assert expected == _reference(words, text)
+
+    @_slow
+    @given(_words, _haystack)
+    def test_sparse_layout_matches_dense(self, words, text):
+        dense = PackedAutomaton(words)
+        # a zero cell budget forces the base/check layout
+        sparse = PackedAutomaton(words, dense_cell_budget=0)
+        assert dense.mode == "dense" and sparse.mode == "sparse"
+        assert dense.find(text) == sparse.find(text)
+
+    def test_empty_text(self):
+        auto = PackedAutomaton(["abc"])
+        assert auto.find("") == set()
+
+    def test_empty_vocabulary(self):
+        auto = PackedAutomaton([])
+        assert auto.find("anything") == set()
+        assert auto.find_batch(["a", "b"]) == [set(), set()]
+
+    def test_empty_word_rejected(self):
+        with pytest.raises(ValueError):
+            PackedAutomaton(["ok", ""])
+
+    def test_overlapping_and_suffix_atoms(self):
+        words = ["he", "she", "his", "hers", "ers", "s"]
+        auto = PackedAutomaton(words)
+        assert auto.find("ushers") == {
+            words.index("he"),
+            words.index("she"),
+            words.index("hers"),
+            words.index("ers"),
+            words.index("s"),
+        }
+
+    def test_word_is_prefix_of_other(self):
+        auto = PackedAutomaton(["base", "base64", "base64decode"])
+        assert auto.find("xx base64 yy") == {0, 1}
+        assert auto.find("base64decode()") == {0, 1, 2}
+
+    def test_duplicate_words_deduplicate(self):
+        auto = PackedAutomaton(["dup", "dup", "other"])
+        assert len(auto) == 2
+        assert auto.find("dup") == {0}
+
+    def test_casefold_length_change_fold_then_encode(self):
+        # "STRASSE".casefold() == "strasse"; the atom is indexed folded and
+        # the caller folds before matching — byte offsets never map back
+        atom = "straße".casefold()  # "strasse"
+        auto = PackedAutomaton([atom])
+        assert auto.find("the STRASSE sign".casefold()) == {0}
+
+    def test_accepts_prefolded_bytes(self):
+        auto = PackedAutomaton(["evil"])
+        assert auto.find(b"import evil") == {0}
+        assert auto.find("import evil".encode("utf-8")) == {0}
+
+    def test_non_bmp_and_multibyte_no_mid_character_match(self):
+        # UTF-8 self-synchronization: the bytes of "日" never appear inside
+        # the encoding of a different character sequence
+        auto = PackedAutomaton(["日"])
+        assert auto.find("𝕏𝕏𝕏") == set()
+        assert auto.find("x日x") == {0}
+
+
+# -- batch parity -------------------------------------------------------------------
+
+
+class TestBatchParity:
+    @_slow
+    @given(_words, st.lists(_haystack, max_size=8))
+    def test_find_batch_equals_mapped_find(self, words, texts):
+        auto = PackedAutomaton(words)
+        assert auto.find_batch(texts) == [auto.find(t) for t in texts]
+
+    @_slow
+    @given(_words, st.lists(_haystack, min_size=2, max_size=8))
+    def test_joined_lane_matches_walk_lane(self, words, texts):
+        joined = PackedAutomaton(words)  # small vocab -> joined guard lane
+        walk = PackedAutomaton(words, batch_guard_limit=0)  # force DFA walk
+        assert joined.find_batch(texts) == walk.find_batch(texts)
+
+    def test_empty_batch(self):
+        assert PackedAutomaton(["a"]).find_batch([]) == []
+
+    def test_batch_with_empty_texts(self):
+        auto = PackedAutomaton(["ab"])
+        assert auto.find_batch(["", "ab", ""]) == [set(), {0}, set()]
+
+    def test_match_never_crosses_texts(self):
+        auto = PackedAutomaton(["abcd"])
+        # "ab" + "cd" adjacent in the joined buffer must not fire
+        assert auto.find_batch(["ab", "cd"]) == [set(), set()]
+
+    def test_long_words_verified_per_occurrence(self):
+        # guard prefix shared by many members, only some of which occur
+        long_a = "registry_" + "a" * GUARD_PREFIX_LENGTH
+        long_b = "registry_" + "b" * GUARD_PREFIX_LENGTH
+        auto = PackedAutomaton([long_a, long_b, "registry"])
+        texts = [f"x {long_a} registry y", "no hits", f"registry {long_b}"]
+        assert auto.find_batch(texts) == [{0, 2}, set(), {1, 2}]
+
+    def test_repeated_guard_occurrences(self):
+        word = "prefix__long_tail"
+        auto = PackedAutomaton([word, "prefix__"])
+        text = "prefix__x prefix__y " + word
+        assert auto.find_batch([text, text]) == [{0, 1}, {0, 1}]
+
+    def test_ahocorasick_find_batch_delegates(self):
+        auto = AhoCorasick(["one", "two"])
+        assert auto.find_batch(["one and two", "zzz"]) == [{0, 1}, set()]
+
+
+# -- serialization ------------------------------------------------------------------
+
+
+def _same_tables(a: PackedAutomaton, b: PackedAutomaton) -> None:
+    assert a.words == b.words
+    assert a.mode == b.mode
+    assert a.state_count == b.state_count
+    assert a.alphabet_size == b.alphabet_size
+    assert a.guard_count == b.guard_count
+    assert a.memory_bytes == b.memory_bytes
+
+
+class TestSerialization:
+    @_slow
+    @given(_words, _haystack)
+    def test_to_bytes_round_trip(self, words, text):
+        auto = PackedAutomaton(words)
+        restored = PackedAutomaton.from_bytes(auto.to_bytes())
+        _same_tables(auto, restored)
+        assert restored.find(text) == auto.find(text)
+
+    @_slow
+    @given(_words, _haystack)
+    def test_pickle_round_trip(self, words, text):
+        auto = PackedAutomaton(words)
+        restored = pickle.loads(pickle.dumps(auto))
+        _same_tables(auto, restored)
+        assert restored.find(text) == auto.find(text)
+
+    def test_sparse_round_trip(self):
+        auto = PackedAutomaton(["alpha", "beta", "betamax"], dense_cell_budget=0)
+        assert auto.mode == "sparse"
+        restored = PackedAutomaton.from_bytes(auto.to_bytes())
+        _same_tables(auto, restored)
+        assert restored.find("betamax alpha") == auto.find("betamax alpha")
+
+    def test_from_bytes_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            PackedAutomaton.from_bytes(b"not a blob")
+        with pytest.raises(ValueError):
+            PackedAutomaton.from_bytes(b"PKAC" + b"\x00" * 10)
+
+    def test_round_trip_preserves_batch_lane(self):
+        auto = PackedAutomaton(["aa", "bb"], batch_guard_limit=7)
+        restored = pickle.loads(pickle.dumps(auto))
+        assert restored.batch_guard_limit == 7
+        assert restored.find_batch(["aa x", "y bb"]) == [{0}, {1}]
+
+    def test_ahocorasick_pickles_without_dict_trie(self):
+        auto = AhoCorasick(["needle", "pin"])
+        auto.find_automaton("needle")  # materialise the reference trie
+        restored = pickle.loads(pickle.dumps(auto))
+        assert restored._trie is None  # derived state is dropped, not shipped
+        assert restored.find("a needle") == {0}
+        assert restored.find_automaton("a needle") == {0}  # rebuilt on demand
+
+
+# -- whole-index / registry round trips ---------------------------------------------
+
+_RULES = """
+rule uses_exec {
+    strings:
+        $a = "exec(base64"
+        $b = "compile(" nocase
+    condition:
+        any of them
+}
+
+rule c2_beacon {
+    strings:
+        $a = /https?:..evil[0-9]+\\.example/
+        $b = "beacon_interval"
+    condition:
+        all of them
+}
+
+rule strasse_family {
+    strings:
+        $a = "straße" nocase
+    condition:
+        $a
+}
+"""
+
+_HAYSTACKS = [
+    "import base64; exec(base64.b64decode(x))",
+    "url = 'https://evil42.example'; beacon_interval = 30",
+    "harmless package with a STRASSE address",
+    "",
+]
+
+
+class TestIndexRoundTrips:
+    def _index(self) -> RuleIndex:
+        return RuleIndex(yara=compile_source(_RULES))
+
+    def test_rule_index_pickle_identical_hits_and_stats(self):
+        index = self._index()
+        restored = pickle.loads(pickle.dumps(index))
+        for text in _HAYSTACKS:
+            folded = text.casefold()
+            assert restored.hits(folded) == index.hits(folded)
+            assert restored.yara_rule_names(text) == index.yara_rule_names(text)
+        assert restored.stats() == index.stats()
+
+    def test_rule_index_batch_parity_after_pickle(self):
+        index = self._index()
+        restored = pickle.loads(pickle.dumps(index))
+        folded = [t.casefold() for t in _HAYSTACKS]
+        assert restored.hits_batch(folded) == index.hits_batch(folded)
+
+    def test_ruleset_version_to_bytes_round_trip(self):
+        registry = RulesetRegistry()
+        version = registry.publish(yara=compile_source(_RULES), label="pub")
+        restored = RulesetVersion.from_bytes(version.to_bytes())
+        assert restored.version == version.version
+        assert restored.index.stats() == version.index.stats()
+        for text in _HAYSTACKS:
+            assert restored.index.yara_rule_names(text) == (
+                version.index.yara_rule_names(text)
+            )
+
+    def test_ruleset_version_from_bytes_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            RulesetVersion.from_bytes(b"junk")
+
+    def test_registry_to_bytes_round_trip(self):
+        registry = RulesetRegistry(namespace="tenant-a")
+        registry.publish(yara=compile_source(_RULES), label="v1")
+        v2 = registry.publish(yara=compile_source(_RULES), label="v2")
+        restored = RulesetRegistry.from_bytes(registry.to_bytes())
+        assert restored.namespace == "tenant-a"
+        current = restored.current()
+        assert current.version == v2.version
+        assert current.index.stats() == v2.index.stats()
+        for text in _HAYSTACKS:
+            assert current.index.yara_rule_names(text) == (
+                v2.index.yara_rule_names(text)
+            )
+
+    def test_registry_from_bytes_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            RulesetRegistry.from_bytes(b"RSV1 nope")
+
+    def test_stats_report_packed_tables(self):
+        stats = self._index().stats()
+        assert stats.packed_mode in ("dense", "sparse")
+        assert stats.packed_memory_bytes > 0
+        assert stats.batch_guards > 0

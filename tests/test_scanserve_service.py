@@ -393,6 +393,89 @@ class TestScheduler:
         with pytest.raises(RuntimeError):
             queue.get()
 
+    def test_chunk_items_contiguous_slices(self):
+        from repro.scanserve import chunk_items
+
+        tagged = list(enumerate("abcde"))
+        assert chunk_items(tagged, 2) == [
+            [(0, "a"), (1, "b")],
+            [(2, "c"), (3, "d")],
+            [(4, "e")],
+        ]
+        assert chunk_items(tagged, 10) == [tagged]
+        assert chunk_items([], 3) == []
+        with pytest.raises(ValueError):
+            chunk_items(tagged, 0)
+
+
+class TestChunkedDispatch:
+    def test_chunk_size_splits_the_batch_without_changing_detections(
+        self, small_dataset
+    ):
+        packages = small_dataset.packages[:8]
+        whole = ScanService(config=ScanServiceConfig(mode="inprocess", enable_cache=False))
+        whole.publish(yara=_tiny_yara())
+        chunked = ScanService(
+            config=ScanServiceConfig(mode="inprocess", enable_cache=False, chunk_size=3)
+        )
+        chunked.publish(yara=_tiny_yara())
+        a = whole.scan_batch(packages)
+        b = chunked.scan_batch(packages)
+        assert [(d.package, d.yara_rules) for d in a.detections] == [
+            (d.package, d.yara_rules) for d in b.detections
+        ]
+
+    def test_process_mode_matches_inprocess(self, small_dataset):
+        packages = small_dataset.packages[:8]
+        inproc = ScanService(config=ScanServiceConfig(mode="inprocess", enable_cache=False))
+        inproc.publish(yara=_tiny_yara())
+        proc = ScanService(
+            config=ScanServiceConfig(
+                shards=2, mode="process", enable_cache=False, chunk_size=4
+            )
+        )
+        proc.publish(yara=_tiny_yara())
+        a = inproc.scan_batch(packages)
+        b = proc.scan_batch(packages)
+        assert b.mode == "process"
+        assert [(d.package, d.yara_rules) for d in a.detections] == [
+            (d.package, d.yara_rules) for d in b.detections
+        ]
+
+    def test_worker_attaches_from_version_blob(self, small_dataset):
+        """The spawn-safe lane: a worker restores the publish-time compiled
+        index from ``RulesetVersion.to_bytes()`` and scans identically."""
+        import repro.scanserve.service as service_module
+
+        registry = RulesetRegistry()
+        version = registry.publish(yara=_tiny_yara())
+        blob = version.to_bytes()
+        saved_scanner = service_module._WORKER_SCANNER
+        try:
+            service_module._worker_init(blob, 1, True, False)
+            worker_scanner = service_module._WORKER_SCANNER
+            assert worker_scanner.index is not None
+            live = RuleScanner.with_index(yara_rules=version.yara)
+            for package in small_dataset.packages[:4]:
+                assert (
+                    worker_scanner.scan_package(package).yara_rules
+                    == live.scan_package(package).yara_rules
+                )
+        finally:
+            service_module._WORKER_SCANNER = saved_scanner
+
+
+class TestScanPreparedBatch:
+    def test_batch_scan_matches_per_package(self, generated_rules, small_dataset):
+        yara = generated_rules.compile_yara()
+        semgrep = generated_rules.compile_semgrep()
+        scanner = RuleScanner.with_index(yara_rules=yara, semgrep_rules=semgrep)
+        batch = scanner.scan_prepared(small_dataset.packages)
+        singles = [scanner.scan_package(p) for p in small_dataset.packages]
+        assert [(d.package, d.yara_rules, d.semgrep_rules) for d in batch] == [
+            (d.package, d.yara_rules, d.semgrep_rules) for d in singles
+        ]
+
 
 # -- service ------------------------------------------------------------------------
 
