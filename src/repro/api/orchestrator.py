@@ -32,6 +32,7 @@ loop.
 from __future__ import annotations
 
 import abc
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -245,6 +246,8 @@ class FleetResult:
     layers: list[RulesetVersion] = field(default_factory=list)  # stacked only
     elapsed_seconds: float = 0.0
     workers: int = 1
+    run_key: str = ""  # checkpoint identity when a store is attached
+    resumed: list[str] = field(default_factory=list)  # shards from checkpoints
 
     @property
     def shard_count(self) -> int:
@@ -289,6 +292,9 @@ class FleetResult:
             "rules": counts,
             "version": self.version.version if self.version else None,
             "layers": [layer.version for layer in self.layers],
+            "run_key": self.run_key,
+            "resumed": list(self.resumed),
+            "merged_cache_key": self.version.cache_key if self.version else "",
             "shards": [
                 {
                     "label": run.label,
@@ -296,6 +302,7 @@ class FleetResult:
                     "rules": len(run.result.rule_set),
                     "rejected": len(run.result.rule_set.rejected),
                     "seconds": round(run.seconds, 6),
+                    "resumed": run.label in self.resumed,
                 }
                 for run in self.shard_runs
             ],
@@ -324,6 +331,7 @@ class GenerationOrchestrator:
         provider_factory: Optional[Callable[[], LLMProvider]] = None,
         embedder: CodeEmbedder | None = None,
         label: str = "",
+        store=None,
     ) -> None:
         self.config = config or RuleLLMConfig()
         self.plan = plan or ClusterShardPlan(shards=2)
@@ -337,6 +345,12 @@ class GenerationOrchestrator:
             )
         )
         self.results: list[FleetResult] = []
+        #: A :class:`repro.store.RuleStore` makes every shard completion a
+        #: durable checkpoint and enables ``run(..., resume=True)``.
+        self.store = store
+        #: Test/CI hook called after each shard's checkpoint lands
+        #: (label, completed count) — the kill-and-resume smoke uses it.
+        self.on_shard_checkpoint: Optional[Callable[[str, int], None]] = None
 
     # -- execution ----------------------------------------------------------------
     def run(
@@ -345,6 +359,7 @@ class GenerationOrchestrator:
         publish: str = MERGED,
         label: str = "",
         activate: bool = True,
+        resume: bool = False,
     ) -> FleetResult:
         """Partition, generate per shard, and publish the fleet's output.
 
@@ -353,6 +368,13 @@ class GenerationOrchestrator:
         ``"none"`` (generate only).  Without a bound registry nothing is
         published regardless.  The merged rule set is always computed and
         returned on the :class:`FleetResult`.
+
+        With a bound store, each shard's output checkpoints to the journal
+        as it completes, and ``resume=True`` reconciles the plan against
+        prior checkpoints (matched by run key: same plan + config + corpus
+        content), re-running only the shards without one.  Shards merge in
+        plan order either way, so a resumed run's merged publish is
+        bit-identical to an uninterrupted one.
         """
         if publish not in _PUBLISH_MODES:
             raise ValueError(f"publish must be one of {_PUBLISH_MODES}, got {publish!r}")
@@ -361,11 +383,61 @@ class GenerationOrchestrator:
         shards = self.plan.partition(corpus, self.config, self.embedder)
         label = label or self.label
 
+        checkpointer = None
+        run_key = ""
+        recovered: dict[str, object] = {}
+        if self.store is not None:
+            # deferred import: the orchestrator works without the store layer
+            from repro.store.checkpoints import (
+                FleetCheckpointer,
+                fleet_run_key,
+                shard_fingerprint,
+            )
+
+            checkpointer = FleetCheckpointer(self.store)
+            labels = [shard.label for shard in shards]
+            run_key = fleet_run_key(
+                self.plan.name,
+                publish,
+                self.config.model,
+                self.config.seed,
+                [
+                    (shard.label, shard_fingerprint(shard.label, shard.packages))
+                    for shard in shards
+                ],
+            )
+            if resume:
+                recovered = checkpointer.reconcile(run_key, labels).finished
+            checkpointer.begin(run_key, labels, self.plan.name, publish)
+
+        pending = [shard for shard in shards if shard.label not in recovered]
         workers = self.max_workers
         if workers is None:
-            workers = min(len(shards), 4) or 1
-        workers = max(1, min(workers, len(shards) or 1))
-        runs = self._run_shards(shards, workers)
+            workers = min(len(pending), 4) or 1
+        workers = max(1, min(workers, len(pending) or 1))
+        live = self._run_shards(pending, workers, checkpointer, run_key)
+
+        # splice checkpointed and live shards back into plan order — the
+        # merge's determinism (and the bit-identical resume guarantee)
+        # depends on shard order, not on which process ran each shard
+        by_label = {run.label: run for run in live}
+        runs: list[ShardRun] = []
+        resumed: list[str] = []
+        for shard in shards:
+            if shard.label in by_label:
+                runs.append(by_label[shard.label])
+                continue
+            checkpoint = recovered[shard.label]
+            runs.append(
+                ShardRun(
+                    shard=shard,
+                    result=SessionResult(
+                        rule_set=checkpoint.rule_set, shard_label=shard.label
+                    ),
+                    seconds=checkpoint.seconds,
+                )
+            )
+            resumed.append(shard.label)
 
         labeled = [(run.label, run.result.rule_set) for run in runs]
         fleet = FleetResult(
@@ -373,6 +445,8 @@ class GenerationOrchestrator:
             publish=publish,
             shard_runs=runs,
             workers=workers,
+            run_key=run_key,
+            resumed=resumed,
         )
         provenance = []
         if labeled:
@@ -391,14 +465,28 @@ class GenerationOrchestrator:
                     labeled, label=label, activate=activate
                 )
                 fleet.version = fleet.layers[-1]
+        if checkpointer is not None:
+            checkpointer.merge_complete(
+                run_key,
+                fleet.version.version if fleet.version else None,
+                cache_key=fleet.version.cache_key if fleet.version else "",
+            )
         fleet.elapsed_seconds = time.perf_counter() - started
         self.results.append(fleet)
         return fleet
 
     def _run_shards(
-        self, shards: Sequence[CorpusShard], workers: int
+        self,
+        shards: Sequence[CorpusShard],
+        workers: int,
+        checkpointer=None,
+        run_key: str = "",
     ) -> list[ShardRun]:
+        completed = 0
+        completed_lock = threading.Lock()
+
         def run_one(shard: CorpusShard) -> ShardRun:
+            nonlocal completed
             session = GenerationSession(
                 config=self.config,
                 provider=self.provider_factory(),
@@ -410,11 +498,17 @@ class GenerationOrchestrator:
             session.add_batch(shard.packages)
             shard_started = time.perf_counter()
             result = session.generate(label=shard.label)
-            return ShardRun(
-                shard=shard,
-                result=result,
-                seconds=time.perf_counter() - shard_started,
-            )
+            seconds = time.perf_counter() - shard_started
+            if checkpointer is not None:
+                checkpointer.shard_complete(
+                    run_key, shard.label, result.rule_set, seconds
+                )
+            with completed_lock:
+                completed += 1
+                count = completed
+            if self.on_shard_checkpoint is not None:
+                self.on_shard_checkpoint(shard.label, count)
+            return ShardRun(shard=shard, result=result, seconds=seconds)
 
         if workers <= 1 or len(shards) <= 1:
             return [run_one(shard) for shard in shards]

@@ -12,10 +12,10 @@ Ranking is deterministic: score descending, ties broken by rule name then
 namespace, scores compared at 9 decimal places so float noise cannot make
 two runs disagree.
 
-Persistence is JSON-on-disk with an atomic replace (write to a sibling
-temp file, ``os.replace`` over the target), so a crashed runner never
-leaves a half-written board and a restarted runner reloads rank history
-and trends exactly where they stood.
+Persistence is JSON-on-disk through :func:`repro.utils.atomic.
+atomic_write_text` (fsync file, atomic rename, fsync directory), so a
+crashed runner never leaves a half-written board and a restarted runner
+reloads rank history and trends exactly where they stood.
 """
 
 from __future__ import annotations
@@ -27,6 +27,7 @@ from pathlib import Path
 from typing import Iterable, List, Optional, Tuple
 
 from repro.arena.scoring import RuleScore
+from repro.utils.atomic import atomic_write_text
 
 #: Entry statuses mirrored from the lifecycle tracker.
 ACTIVE = "active"
@@ -198,12 +199,11 @@ class Leaderboard:
         if target is None:
             return None
         target.parent.mkdir(parents=True, exist_ok=True)
-        scratch = target.with_name(target.name + ".tmp")
-        scratch.write_text(
-            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n",
-            encoding="utf-8",
+        # durable: the board is long-lived state a restarted runner reloads,
+        # so the write fsyncs the file and its directory entry
+        atomic_write_text(
+            target, json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
         )
-        os.replace(scratch, target)
         return target
 
     def _load(self, path: Path) -> None:

@@ -63,6 +63,7 @@ from repro.scanserve.registry import (
     merge_shard_rulesets,
 )
 from repro.scanserve.service import ScanService
+from repro.utils.atomic import atomic_write_text
 
 _STOP = object()  # worker-queue sentinel
 
@@ -102,6 +103,7 @@ class ArenaRound:
     retired_version: Optional[int] = None
     refeed_version: Optional[int] = None
     elapsed_seconds: float = 0.0
+    journal_epoch: Optional[int] = None  # store anchor (None without a store)
 
     @property
     def retired_rules(self) -> List[str]:
@@ -122,6 +124,7 @@ class ArenaRound:
             "retired_version": self.retired_version,
             "refeed_version": self.refeed_version,
             "elapsed_seconds": round(self.elapsed_seconds, 6),
+            "journal_epoch": self.journal_epoch,
         }
 
     def describe(self) -> str:
@@ -150,6 +153,7 @@ class ArenaRunner:
         config: Optional[ArenaConfig] = None,
         history_path: Optional[Path] = None,
         provider=None,
+        store=None,
     ) -> None:
         self.service = service
         self.registry = service.registry
@@ -163,13 +167,30 @@ class ArenaRunner:
         self.history_path = Path(history_path) if history_path else None
         self._provider = provider  # refeed sessions reuse one LLM provider
         self._sources: dict[int, object] = {}  # version -> GeneratedRuleSet
+        #: Optional :class:`repro.store.RuleStore`: every round appends an
+        #: ``arena-round`` record, and a restarted runner continues its
+        #: round numbering from the journal instead of starting over at 0
+        #: (the traffic's per-round seeds and the leaderboard's round
+        #: indexes both key off it).
+        self.store = store
         self._round_counter = 0
+        if store is not None:
+            for record in store.journal.replay():
+                if record.type == "arena-round":
+                    self._round_counter = max(
+                        self._round_counter, int(record.data.get("index", -1)) + 1
+                    )
         self._round_lock = threading.Lock()
         self._pending: "queue.Queue" = queue.Queue()
         self._thread: Optional[threading.Thread] = None
         self._token: Optional[int] = None
         self._drain = True
         self._suppress_events = False  # arena's own refeed publishes
+
+    @property
+    def next_round_index(self) -> int:
+        """Index the next round will run as (journal-recovered after a restart)."""
+        return self._round_counter
 
     # -- sources ----------------------------------------------------------------------
     def register_sources(self, version: int, ruleset) -> None:
@@ -293,6 +314,20 @@ class ArenaRunner:
                 target, [a.rule for a in retired], index
             )
         record.elapsed_seconds = time.perf_counter() - started
+        if self.store is not None:
+            record.journal_epoch = self.store.journal.append(
+                "arena-round",
+                {
+                    "index": record.index,
+                    "version": record.version,
+                    "policy": record.policy,
+                    "packages": record.packages,
+                    "malicious": record.malicious,
+                    "retired_rules": record.retired_rules,
+                    "retired_version": record.retired_version,
+                    "refeed_version": record.refeed_version,
+                },
+            )
         self.history.append(record)
         del self.history[: -self.config.history_limit]
         self._persist_history()
@@ -376,12 +411,11 @@ class ArenaRunner:
         if self.history_path is None:
             return
         self.history_path.parent.mkdir(parents=True, exist_ok=True)
-        scratch = self.history_path.with_name(self.history_path.name + ".tmp")
         payload = {"rounds": [record.to_dict() for record in self.history]}
-        scratch.write_text(
-            json_dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        atomic_write_text(
+            self.history_path,
+            json_dumps(payload, indent=2, sort_keys=True) + "\n",
         )
-        scratch.replace(self.history_path)
 
 
 def _rule_names(version: RulesetVersion) -> List[str]:

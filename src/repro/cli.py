@@ -1,6 +1,6 @@
 """Command-line interface (``rulellm``).
 
-Ten subcommands cover the common workflows:
+Eleven subcommands cover the common workflows:
 
 ``rulellm generate``
     Build a synthetic corpus (or load unpacked packages from a directory),
@@ -58,6 +58,14 @@ Ten subcommands cover the common workflows:
     against it, score and rank every rule on a persistent leaderboard,
     auto-retire decayed rules, and refeed the misses through a generation
     session.  ``leaderboard`` / ``history`` inspect a saved state dir.
+
+``rulellm store``
+    Operate a :mod:`repro.store` durable state store: ``fsck`` validates
+    the journal and blobs (truncating torn tails, reporting a
+    :class:`~repro.store.RecoveryReport`), ``info`` prints epoch/blob
+    stats, ``compact`` folds the journal prefix into a snapshot and drops
+    replayed segments, ``migrate`` converts a ``v<N>/``+``ACTIVE``
+    registry directory into a store.
 """
 
 from __future__ import annotations
@@ -162,6 +170,19 @@ def _add_orchestrate(subparsers) -> None:
     parser.add_argument("--registry-dir", default=None,
                         help="save the merged rules as the next version of this "
                              "on-disk registry directory (see 'rulellm registry')")
+    parser.add_argument("--store", default=None,
+                        help="durable state store directory: the registry recovers "
+                             "from (and journals into) it, and every shard "
+                             "completion becomes a resumable checkpoint")
+    parser.add_argument("--resume", action="store_true",
+                        help="with --store: reconcile against prior checkpoints of "
+                             "the same run and re-run only the missing shards")
+    parser.add_argument("--no-durable-store", action="store_true",
+                        help="skip per-record fsyncs in the store (CI/tests)")
+    # deterministic crash injection for the CI kill-and-resume smoke test:
+    # SIGKILL this process right after the Nth shard checkpoint lands
+    parser.add_argument("--sigkill-after-shards", type=int, default=None,
+                        help=argparse.SUPPRESS)
     parser.add_argument("--json", default=None,
                         help="write the fleet/re-scan report to this file")
 
@@ -185,6 +206,172 @@ def _add_registry(subparsers) -> None:
                                     "RETIRED.json tombstone file)")
     retire_parser.add_argument("--by", default="", dest="retired_by",
                                help="who retired it (operator name or automation id)")
+
+
+def _add_store(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "store",
+        help="operate a durable state store (journal + blobs + snapshots)",
+    )
+    actions = parser.add_subparsers(dest="store_command", required=True)
+
+    fsck = actions.add_parser(
+        "fsck", help="validate the store, truncating torn journal tails"
+    )
+    fsck.add_argument("dir", help="store directory (see 'orchestrate --store')")
+    fsck.add_argument("--deep", action="store_true",
+                      help="re-hash every blob against its content address")
+    fsck.add_argument("--json", default=None,
+                      help="write the RecoveryReport to this file")
+
+    info = actions.add_parser("info", help="print journal/blob/snapshot stats")
+    info.add_argument("dir")
+    info.add_argument("--json", default=None)
+
+    compact = actions.add_parser(
+        "compact", help="fold the journal prefix into a snapshot and drop it"
+    )
+    compact.add_argument("dir")
+
+    migrate = actions.add_parser(
+        "migrate",
+        help="convert a v<N>/+ACTIVE registry directory into a store",
+    )
+    migrate.add_argument("src", help="registry directory (v1/, v2/, ... + ACTIVE)")
+    migrate.add_argument("dest", help="store directory to create")
+
+
+def _cmd_store(args) -> int:
+    import json as json_module
+
+    from repro.store import JournalCorruption, open_store
+
+    if args.store_command == "migrate":
+        return _store_migrate(Path(args.src), Path(args.dest))
+
+    root = Path(args.dir)
+    if not root.is_dir():
+        print(f"no store at {root}", file=sys.stderr)
+        return 1
+    try:
+        store, report = open_store(
+            root, deep=getattr(args, "deep", False), create=False
+        )
+    except JournalCorruption as exc:
+        print(f"store {root} unrecoverable: {exc}", file=sys.stderr)
+        return 1
+
+    with store:
+        if args.store_command == "fsck":
+            print(report.describe())
+            for note in report.notes:
+                print(f"  note: {note}")
+            if args.json:
+                Path(args.json).parent.mkdir(parents=True, exist_ok=True)
+                Path(args.json).write_text(
+                    json_module.dumps(report.to_dict(), indent=2, sort_keys=True)
+                    + "\n",
+                    encoding="utf-8",
+                )
+                print(f"wrote {args.json}")
+            return 0 if report.ok else 1
+
+        if args.store_command == "info":
+            details = store.info()
+            print(f"store {details['root']}:")
+            print(f"  journal: {details['segments']} segment(s), "
+                  f"{details['records']} record(s), "
+                  f"{details['journal_bytes']} bytes, "
+                  f"last epoch {details['last_epoch']}")
+            snapshot = details["snapshot_epoch"]
+            print(f"  snapshot: "
+                  + (f"epoch {snapshot} ({details['manifests']} manifest(s))"
+                     if snapshot else "none"))
+            print(f"  blobs: {details['blobs']} ({details['bytes']} bytes)")
+            for record_type, count in details["records_by_type"].items():
+                print(f"    {record_type}: {count}")
+            if args.json:
+                Path(args.json).parent.mkdir(parents=True, exist_ok=True)
+                Path(args.json).write_text(
+                    json_module.dumps(details, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8",
+                )
+                print(f"wrote {args.json}")
+            return 0
+
+        if args.store_command == "compact":
+            outcome = store.compact()
+            print(outcome.describe())
+            return 0
+    return 2
+
+
+def _store_migrate(src: Path, dest: Path) -> int:
+    """Convert an old ``v<N>/``+``ACTIVE`` registry directory into a store.
+
+    Version numbers are preserved: a gap in the directory (a version
+    ``rulellm registry retire`` deleted, or one that no longer parses) is
+    consumed by a placeholder publish that is immediately retired through
+    the registry, so the journal carries the original tombstone under its
+    original number and live versions keep theirs.
+    """
+    from repro.scanserve import RulesetRegistry
+    from repro.store import open_store
+
+    versions = _registry_dir_versions(src)
+    if not versions:
+        print(f"no versions under {src}", file=sys.stderr)
+        return 1
+    active = _registry_dir_active(src)
+    tombstones = {
+        int(record.get("version", 0)): record
+        for record in _registry_dir_tombstones(src)
+    }
+
+    rulesets: dict[int, GeneratedRuleSet] = {}
+    for number, path in versions.items():
+        loaded = GeneratedRuleSet.load(path)
+        if loaded.rules:
+            rulesets[number] = loaded
+    if not rulesets:
+        print(f"no readable versions under {src}", file=sys.stderr)
+        return 1
+    highest = max(list(rulesets) + [n for n in tombstones if n > 0])
+    filler = rulesets[min(rulesets)]
+    if active not in rulesets:
+        active = max(rulesets)
+        print(f"ACTIVE marker missing or unreadable: activating v{active}")
+
+    store, _report = open_store(dest)
+    with store:
+        registry = RulesetRegistry(store=store)
+        migrated = 0
+        for number in range(1, highest + 1):
+            if number in rulesets:
+                published = registry.publish_generated(
+                    rulesets[number], label=versions[number].name,
+                    activate=(number == active),
+                )
+                migrated += 1
+                marker = " (active)" if number == active else ""
+                print(f"v{number}: {published.rule_count} rules{marker}")
+                continue
+            tombstone = tombstones.get(number, {})
+            registry.publish_generated(
+                filler, label=f"migration-gap-v{number}", activate=False
+            )
+            registry.retire(
+                number,
+                reason=str(tombstone.get("reason", ""))
+                or "unreadable or missing at migration",
+                retired_by=str(tombstone.get("retired_by", "")),
+            )
+            print(f"v{number}: tombstone carried"
+                  + (f" ({tombstone['reason']})" if tombstone.get("reason") else ""))
+        registry.snapshot()
+    print(f"migrated {migrated} version(s) into {dest} "
+          f"(recover with RulesetRegistry.from_store or 'orchestrate --store')")
+    return 0
 
 
 def _add_arena(subparsers) -> None:
@@ -220,6 +407,10 @@ def _add_arena(subparsers) -> None:
     run.add_argument("--state-dir", default=None,
                      help="persist leaderboard.json + rounds.json here (the files "
                           "'rulellm arena leaderboard/history' read)")
+    run.add_argument("--store", default=None,
+                     help="durable state store directory: the registry recovers "
+                          "from it and every round is journaled, so a restarted "
+                          "arena continues its round numbering")
     run.add_argument("--json", default=None,
                      help="write the full arena report to this file")
 
@@ -264,6 +455,11 @@ def _add_serve(subparsers) -> None:
     parser.add_argument("--no-auto-tenant", action="store_true",
                         help="reject unknown tenants instead of auto-registering "
                              "them with the default quota")
+    parser.add_argument("--store", default=None,
+                        help="durable state store directory: jobs are journaled "
+                             "(a restart marks prior in-flight jobs interrupted) "
+                             "and each tenant's registry recovers from its "
+                             "tenants/<name> substore")
     parser.add_argument("--ready-file", default=None,
                         help="write 'host port' here once listening (for scripts)")
 
@@ -591,7 +787,23 @@ def _cmd_orchestrate(args) -> int:
         "behavior": lambda: BehaviorShardPlan(max_shards=shards),
         "round-robin": lambda: RoundRobinShardPlan(shards),
     }
+    store = None
+    registry = None
+    recovery = None
+    if args.store:
+        from repro.scanserve import RulesetRegistry
+        from repro.store import open_store
+
+        store, recovery = open_store(
+            args.store, durable=not args.no_durable_store
+        )
+        print(recovery.describe())
+        registry = RulesetRegistry.from_store(store)
+        if registry.versions():
+            print(f"recovered registry: {len(registry.versions())} version(s), "
+                  f"active v{registry.current_version()}")
     service = ScanService(
+        registry=registry,
         config=ScanServiceConfig(
             mode="inprocess",
             match_threshold=max(1, args.threshold),
@@ -618,9 +830,33 @@ def _cmd_orchestrate(args) -> int:
         plan=plans[args.plan](),
         registry=service.registry,
         max_workers=args.max_workers,
+        store=store,
     )
+    if args.sigkill_after_shards is not None:
+        # CI crash harness: die hard (no atexit, no cleanup) once N shard
+        # checkpoints are durable, so --resume has something real to recover
+        import os
+        import signal as signal_module
+
+        kill_after = max(1, args.sigkill_after_shards)
+
+        def _die_after(label: str, completed: int) -> None:
+            if completed >= kill_after:
+                print(f"sigkill-after-shards: {completed} checkpoint(s) durable, "
+                      f"dying after shard {label}", flush=True)
+                os.kill(os.getpid(), signal_module.SIGKILL)
+
+        orchestrator.on_shard_checkpoint = _die_after
     print(f"orchestrating {shards}-shard fleet ({args.plan} plan, {args.model}) ...")
-    fleet = orchestrator.run(malware, publish=args.publish, label=f"{args.model} fleet")
+    fleet = orchestrator.run(
+        malware,
+        publish=args.publish,
+        label=f"{args.model} fleet",
+        resume=args.resume,
+    )
+    if fleet.resumed:
+        print(f"resumed {len(fleet.resumed)} checkpointed shard(s): "
+              + ", ".join(fleet.resumed))
     print(fleet.describe())
     if fleet.version is None:
         print("no rules survived alignment; nothing published", file=sys.stderr)
@@ -659,12 +895,17 @@ def _cmd_orchestrate(args) -> int:
             "scanned_packages": batch.packages,
             "flagged_malicious": malicious,
         }
+        if recovery is not None:
+            report["recovery"] = recovery.to_dict()
         Path(args.json).parent.mkdir(parents=True, exist_ok=True)
         Path(args.json).write_text(
             json_module.dumps(report, indent=2, sort_keys=True) + "\n",
             encoding="utf-8",
         )
         print(f"wrote report to {args.json}")
+    if store is not None:
+        service.registry.snapshot()  # fold the run into one recovery point
+        store.close()
     return 0
 
 
@@ -689,11 +930,13 @@ def _registry_dir_tombstones(root: Path) -> list[dict]:
 def _registry_dir_add_tombstone(root: Path, record: dict) -> None:
     import json as json_module
 
+    from repro.utils.atomic import atomic_write_text
+
     records = _registry_dir_tombstones(root)
     records.append(record)
-    (root / _RETIRED_FILE).write_text(
+    atomic_write_text(
+        root / _RETIRED_FILE,
         json_module.dumps(records, indent=2, sort_keys=True) + "\n",
-        encoding="utf-8",
     )
 
 
@@ -716,11 +959,15 @@ def _registry_dir_active(root: Path) -> int | None:
 
 def _registry_dir_add(root: Path, ruleset) -> tuple[Path, int]:
     """Save ``ruleset`` as the next version of ``root`` and activate it."""
+    from repro.utils.atomic import atomic_write_text
+
     versions = _registry_dir_versions(root)
     version = max(versions, default=0) + 1
     version_dir = root / f"v{version}"
     ruleset.save(version_dir)
-    (root / _ACTIVE_MARKER).write_text(f"{version}\n", encoding="utf-8")
+    # the marker flip is the activation: make it atomic + durable so a crash
+    # never leaves a half-written marker pointing nowhere
+    atomic_write_text(root / _ACTIVE_MARKER, f"{version}\n")
     return version_dir, version
 
 
@@ -728,6 +975,8 @@ def _cmd_registry(args) -> int:
     from repro.scanserve import RulesetRegistry
 
     root = Path(args.dir)
+    if (root / "journal").is_dir():  # new store layout: route through repro.store
+        return _cmd_registry_store(args, root)
     versions = _registry_dir_versions(root)
     active = _registry_dir_active(root)
 
@@ -766,7 +1015,9 @@ def _cmd_registry(args) -> int:
         return 1
 
     if args.registry_command == "activate":
-        (root / _ACTIVE_MARKER).write_text(f"{args.version}\n", encoding="utf-8")
+        from repro.utils.atomic import atomic_write_text
+
+        atomic_write_text(root / _ACTIVE_MARKER, f"{args.version}\n")
         print(f"activated v{args.version}")
         return 0
 
@@ -790,6 +1041,51 @@ def _cmd_registry(args) -> int:
         suffix = f" ({args.reason})" if args.reason else ""
         print(f"retired v{args.version}{suffix}")
         return 0
+    return 2
+
+
+def _cmd_registry_store(args, root: Path) -> int:
+    """`rulellm registry` against a store-backed root: same verbs, recovered
+    from snapshot blobs + journal tail instead of ``v<N>/`` directories."""
+    from repro.scanserve import RulesetRegistry
+    from repro.store import open_store
+
+    store, report = open_store(root, create=False)
+    with store:
+        registry = RulesetRegistry.from_store(store)
+        for note in registry.recovery_notes:
+            print(f"note: {note}", file=sys.stderr)
+
+        if args.registry_command == "list":
+            if not report.ok:
+                print(report.describe(), file=sys.stderr)
+            print(registry.describe())
+            return 0
+
+        if args.version not in registry.versions():
+            known = ", ".join(f"v{v}" for v in registry.versions()) or "none"
+            print(f"unknown version v{args.version} in store {root} "
+                  f"(known: {known})", file=sys.stderr)
+            return 1
+
+        if args.registry_command == "activate":
+            registry.activate(args.version)
+            registry.snapshot()
+            print(f"activated v{args.version}")
+            return 0
+
+        if args.registry_command == "retire":
+            try:
+                record = registry.retire(
+                    args.version, reason=args.reason, retired_by=args.retired_by
+                )
+            except ValueError as exc:
+                print(str(exc), file=sys.stderr)
+                return 1
+            registry.snapshot()
+            if record is not None:
+                print(record.describe())
+            return 0
     return 2
 
 
@@ -830,8 +1126,18 @@ def _cmd_serve(args) -> int:
         seed=args.seed,
     )
 
+    store = None
+    if args.store:
+        from repro.store import open_store
+
+        store, recovery = open_store(args.store)
+        print(recovery.describe())
+
     async def main() -> int:
-        app = await GatewayApp(config).start()
+        app = await GatewayApp(config, store=store).start()
+        if app.interrupted_jobs:
+            print(f"marked {len(app.interrupted_jobs)} job(s) from the previous "
+                  f"run as interrupted")
         for spec in args.tenant:
             name, quota = _parse_tenant_spec(spec, default_quota)
             tenant = app.register_tenant(name, quota)
@@ -856,6 +1162,8 @@ def _cmd_serve(args) -> int:
         print("shutting down: draining in-flight jobs ...", flush=True)
         await server.stop()
         await app.shutdown(drain=True)
+        if store is not None:
+            store.close()
         counts = app.jobs.counts()
         print(f"gateway stopped (jobs: {counts})")
         return 0
@@ -1077,7 +1385,17 @@ def _cmd_arena(args) -> int:
     print(f"corpus: {len(dataset.malware)} malicious, "
           f"{len(dataset.benign)} benign packages")
 
+    store = None
+    registry = None
+    if args.store:
+        from repro.scanserve import RulesetRegistry
+        from repro.store import open_store
+
+        store, recovery = open_store(args.store)
+        print(recovery.describe())
+        registry = RulesetRegistry.from_store(store)
     service = ScanService(
+        registry=registry,
         config=ScanServiceConfig(mode="inprocess", match_threshold=1)
     )
     session = GenerationSession(
@@ -1115,8 +1433,12 @@ def _cmd_arena(args) -> int:
             seed=args.seed,
         ),
         history_path=state_dir / "rounds.json" if state_dir else None,
+        store=store,
     )
     runner.register_sources(baseline.version.version, baseline.rule_set)
+    if store is not None and not runner.history and runner.next_round_index:
+        print(f"resuming round numbering at {runner.next_round_index} "
+              f"(journal remembers earlier rounds)")
 
     for _ in range(max(1, args.rounds)):
         record = runner.run_round()
@@ -1147,6 +1469,9 @@ def _cmd_arena(args) -> int:
             encoding="utf-8",
         )
         print(f"wrote {args.json}")
+    if store is not None:
+        service.registry.snapshot()  # fold the run into one recovery point
+        store.close()
     return 0
 
 
@@ -1169,6 +1494,7 @@ def main(argv: list[str] | None = None) -> int:
     _add_pipeline(subparsers)
     _add_orchestrate(subparsers)
     _add_registry(subparsers)
+    _add_store(subparsers)
     _add_serve(subparsers)
     _add_client(subparsers)
     _add_arena(subparsers)
@@ -1186,6 +1512,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_orchestrate(args)
     if args.command == "registry":
         return _cmd_registry(args)
+    if args.command == "store":
+        return _cmd_store(args)
     if args.command == "serve":
         return _cmd_serve(args)
     if args.command == "client":

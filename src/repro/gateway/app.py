@@ -36,13 +36,21 @@ from typing import Dict, Iterable, List, Optional, Sequence
 from repro.api.session import GenerationSession
 from repro.core.config import RuleLLMConfig
 from repro.corpus.package import Package
-from repro.gateway.jobs import QUEUED, RUNNING, Job, JobQueue
+from repro.gateway.jobs import (
+    INTERRUPTED,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
+    Job,
+    JobQueue,
+)
+from repro.gateway.metrics import LatencyTracker
 from repro.gateway.notify import NotificationHub, Subscription
 from repro.gateway.ratelimit import Clock, RateLimited
 from repro.gateway.tenants import Tenant, TenantManager, TenantQuota, UnknownTenant
-from repro.scanserve.registry import PublishEvent
+from repro.scanserve.registry import PublishEvent, RulesetRegistry
 from repro.scanserve.scheduler import BoundedQueue
-from repro.scanserve.service import RescanDelta
+from repro.scanserve.service import RescanDelta, ScanService, ScanServiceConfig
 
 
 @dataclass
@@ -79,28 +87,50 @@ class GatewayApp:
         self,
         config: Optional[GatewayConfig] = None,
         clock: Optional[Clock] = None,
+        store=None,
     ) -> None:
         self.config = config or GatewayConfig()
         self.clock = clock or time.time
+        #: Optional :class:`repro.store.RuleStore`: job transitions journal
+        #: here and each tenant's registry recovers from a per-tenant
+        #: substore, so a restarted gateway serves prior versions and
+        #: surfaces the jobs the crash interrupted.
+        self.store = store
         self.tenants = TenantManager(
-            default_quota=self.config.default_quota, clock=self.clock
+            default_quota=self.config.default_quota,
+            clock=self.clock,
+            service_factory=self._tenant_service if store is not None else None,
         )
         self.jobs = JobQueue(
             workers=self.config.workers,
             history_limit=self.config.history_limit,
             clock=self.clock,
         )
+        self.latency = LatencyTracker()
+        self.jobs.on_transition = self._on_job_transition
         self.hub = NotificationHub(
             backlog=self.config.notification_backlog, clock=self.clock
         )
         self._feeds: Dict[str, BoundedQueue] = {}  # open generation feeds by job id
         self._arenas: Dict[str, object] = {}  # lazy per-tenant ArenaRunner
         self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self.interrupted_jobs: List[Job] = []  # recovered at start()
+
+    def _tenant_service(self, name: str) -> ScanService:
+        """Store-backed tenant slice: the registry recovers from (and
+        journals into) ``<store root>/tenants/<name>``."""
+        substore = self.store.substore("tenants", name)
+        return ScanService(
+            registry=RulesetRegistry.from_store(substore, namespace=name),
+            config=ScanServiceConfig(mode="inprocess", recency_window=128),
+        )
 
     # -- lifecycle ------------------------------------------------------------------
     async def start(self) -> "GatewayApp":
         self._loop = asyncio.get_running_loop()
         self.hub.bind(self._loop)
+        if self.store is not None:
+            self._recover_jobs()
         await self.jobs.start()
         return self
 
@@ -370,6 +400,72 @@ class GatewayApp:
         self.tenant(tenant_name)
         return await self.hub.wait_for(tenant_name, after_seq, timeout)
 
+    # -- durability -------------------------------------------------------------------
+    def _on_job_transition(self, job: Job, state: str) -> None:
+        """Journal every job transition and feed the latency histograms.
+
+        Runs synchronously inside the queue's state changes: the journal
+        record is durable before any client can observe the new state.
+        """
+        if state in TERMINAL_STATES and job.seconds is not None:
+            self.latency.observe(job.tenant, job.kind, job.seconds)
+        if self.store is None:
+            return
+        record_type = {QUEUED: "job-submitted", RUNNING: "job-started"}.get(
+            state, "job-finished"
+        )
+        self.store.journal.append(record_type, self._job_record(job))
+
+    @staticmethod
+    def _job_record(job: Job) -> dict:
+        return {
+            "id": job.id,
+            "tenant": job.tenant,
+            "kind": job.kind,
+            "label": job.label,
+            "state": job.state,
+            "error": job.error,
+            "created_at": job.created_at,
+            "started_at": job.started_at,
+            "finished_at": job.finished_at,
+        }
+
+    def _recover_jobs(self) -> None:
+        """Surface the prior process's non-terminal jobs as ``interrupted``.
+
+        Handlers are closures over live sessions and feeds — they cannot be
+        replayed from a journal — so a job the crash caught mid-flight is
+        marked terminal with an explicit state instead of silently
+        vanishing.  The marking itself is journaled, which makes recovery
+        idempotent across repeated restarts.
+        """
+        latest: Dict[str, dict] = {}
+        for record in self.store.journal.replay():
+            if record.type.startswith("job-"):
+                data = record.data
+                if data.get("id"):
+                    latest[str(data["id"])] = data
+        restored: List[Job] = []
+        for job_id, data in latest.items():
+            if data.get("state") in TERMINAL_STATES:
+                continue
+            job = Job(
+                id=job_id,
+                tenant=str(data.get("tenant", "")),
+                kind=str(data.get("kind", "")),
+                label=str(data.get("label", "")),
+                state=INTERRUPTED,
+                error="interrupted: gateway restarted mid-job",
+                created_at=float(data.get("created_at", 0.0)),
+                started_at=data.get("started_at"),
+                finished_at=self.clock(),
+            )
+            restored.append(job)
+            self.store.journal.append("job-finished", self._job_record(job))
+        if restored:
+            self.jobs.restore(restored)
+        self.interrupted_jobs = restored
+
     # -- introspection ----------------------------------------------------------------
     def metrics(self) -> dict:
         """Operational snapshot: global job counts plus per-tenant depth.
@@ -390,12 +486,14 @@ class GatewayApp:
                 "quota_rejections": tenant.rejected,
                 "registry_versions": tenant.registry.versions(),
                 "active_version": tenant.registry.current_version(),
+                "latency": self.latency.tenant_dict(tenant.name),
             })
         return {
             "jobs": self.jobs.counts(),
             "tenants": tenants,
             "open_feeds": len(self._feeds),
             "accepting": self.jobs.accepting,
+            "interrupted_jobs": len(self.interrupted_jobs),
         }
 
     def to_dict(self) -> dict:

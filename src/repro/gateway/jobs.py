@@ -34,8 +34,12 @@ RUNNING = "running"
 DONE = "done"
 FAILED = "failed"
 CANCELLED = "cancelled"
+#: A prior process died with this job non-terminal; assigned on restart by
+#: the gateway's journal recovery (handlers are closures and cannot be
+#: replayed, so the job is surfaced as interrupted rather than re-run).
+INTERRUPTED = "interrupted"
 #: States a job never leaves.
-TERMINAL_STATES = frozenset({DONE, FAILED, CANCELLED})
+TERMINAL_STATES = frozenset({DONE, FAILED, CANCELLED, INTERRUPTED})
 
 #: Handler signature: receives the job (for cooperative-cancel checks and
 #: labels), returns the job's result payload.
@@ -123,6 +127,11 @@ class JobQueue:
         self._workers: List[asyncio.Task] = []
         self._ids = itertools.count(1)
         self._accepting = True
+        #: Called after every state transition with the job and its new
+        #: state (``queued``/``running``/terminal) — the gateway's journal
+        #: and latency histograms hang off this.  Observer errors are
+        #: swallowed: telemetry must never fail a job.
+        self.on_transition: Optional[Callable[[Job, str], None]] = None
 
     # -- lifecycle ------------------------------------------------------------------
     async def start(self) -> "JobQueue":
@@ -185,8 +194,31 @@ class JobQueue:
         )
         self._jobs[job.id] = job
         self._trim_history()
+        self._notify(job, QUEUED)
         self._queue.put_nowait((job, run))
         return job
+
+    def restore(self, jobs: List[Job]) -> None:
+        """Preload jobs recovered from a prior process (oldest first).
+
+        Restored jobs must already be terminal — typically ``interrupted``
+        — and only occupy history; the id counter jumps past the highest
+        restored id so new submissions never collide with journaled ones.
+        """
+        highest = 0
+        for job in jobs:
+            if not job.finished:
+                raise ValueError(
+                    f"restored job {job.id!r} is {job.state}, not terminal"
+                )
+            job._done.set()
+            self._jobs[job.id] = job
+            suffix = job.id.rsplit("-", 1)[-1]
+            if suffix.isdigit():
+                highest = max(highest, int(suffix))
+        if highest:
+            self._ids = itertools.count(highest + 1)
+        self._trim_history()
 
     def get(self, job_id: str) -> Job:
         try:
@@ -254,7 +286,16 @@ class JobQueue:
         job.error = error
         job.finished_at = self._clock()
         job._done.set()
+        self._notify(job, state)
         self._trim_history()
+
+    def _notify(self, job: Job, state: str) -> None:
+        if self.on_transition is None:
+            return
+        try:
+            self.on_transition(job, state)
+        except Exception:
+            pass
 
     def _trim_history(self) -> None:
         terminal = [job_id for job_id, job in self._jobs.items() if job.finished]
@@ -270,6 +311,7 @@ class JobQueue:
                     continue
                 job.state = RUNNING
                 job.started_at = self._clock()
+                self._notify(job, RUNNING)
                 task = asyncio.create_task(run(job), name=f"job-{job.id}")
                 self._tasks[job.id] = task
                 try:

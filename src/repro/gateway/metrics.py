@@ -1,0 +1,130 @@
+"""Latency histograms for the gateway's ``/metrics`` document.
+
+Fixed log-spaced buckets (powers of two over a 1 ms base) rather than
+adaptive ones: every scrape of every tenant reports the same bucket
+boundaries, so dashboards can aggregate across tenants and across time
+without re-binning.  Quantiles (p50/p99) are estimated by linear
+interpolation inside the winning bucket — the standard Prometheus-style
+estimate, biased at most one bucket width, which log spacing keeps
+proportional to the value itself.
+
+The gateway keeps one :class:`LatencyHistogram` per ``(tenant, job kind)``
+and feeds it from the job queue's transition observer, so *every* finished
+job — done, failed, or cancelled mid-run — lands in exactly one histogram.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Optional, Sequence
+
+#: 1ms * 2**k for k in 0..16 — ~1ms to ~65s, then +Inf.
+DEFAULT_BUCKETS: tuple[float, ...] = tuple(0.001 * (2 ** k) for k in range(17))
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram with interpolated quantiles."""
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        bounds = sorted(float(b) for b in buckets)
+        if not bounds or any(b <= 0 for b in bounds):
+            raise ValueError("bucket bounds must be positive")
+        self.bounds = bounds  # upper bounds; an implicit +Inf bucket follows
+        self._counts = [0] * (len(bounds) + 1)
+        self._total = 0
+        self._sum = 0.0
+        self._max = 0.0
+        self._lock = threading.Lock()
+
+    def observe(self, seconds: float) -> None:
+        seconds = max(0.0, float(seconds))
+        index = bisect.bisect_left(self.bounds, seconds)
+        with self._lock:
+            self._counts[index] += 1
+            self._total += 1
+            self._sum += seconds
+            if seconds > self._max:
+                self._max = seconds
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._total
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Interpolated quantile estimate; ``None`` with no observations."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        with self._lock:
+            if self._total == 0:
+                return None
+            rank = q * self._total
+            seen = 0.0
+            for index, count in enumerate(self._counts):
+                if count == 0:
+                    continue
+                if seen + count >= rank:
+                    upper = (
+                        self.bounds[index]
+                        if index < len(self.bounds)
+                        else self._max  # +Inf bucket: cap at the observed max
+                    )
+                    lower = self.bounds[index - 1] if index > 0 else 0.0
+                    fraction = (rank - seen) / count
+                    return lower + (upper - lower) * min(1.0, max(0.0, fraction))
+                seen += count
+            return self._max
+
+    def to_dict(self) -> dict:
+        """Scrape-friendly snapshot: buckets, totals and p50/p99."""
+        with self._lock:
+            counts = list(self._counts)
+            total = self._total
+            total_sum = self._sum
+            observed_max = self._max
+        histogram = {
+            "count": total,
+            "sum_seconds": round(total_sum, 6),
+            "max_seconds": round(observed_max, 6),
+            "mean_seconds": round(total_sum / total, 6) if total else None,
+            "buckets": [
+                {"le": self.bounds[i], "count": counts[i]}
+                for i in range(len(self.bounds))
+                if counts[i]
+            ],
+            "overflow": counts[-1],
+        }
+        histogram["p50_seconds"] = _rounded(self.quantile(0.50))
+        histogram["p99_seconds"] = _rounded(self.quantile(0.99))
+        return histogram
+
+
+def _rounded(value: Optional[float]) -> Optional[float]:
+    return round(value, 6) if value is not None else None
+
+
+class LatencyTracker:
+    """Per-``(tenant, kind)`` histogram registry, shared bucket layout."""
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        self.buckets = tuple(buckets)
+        self._histograms: dict[tuple[str, str], LatencyHistogram] = {}
+        self._lock = threading.Lock()
+
+    def observe(self, tenant: str, kind: str, seconds: float) -> None:
+        key = (tenant, kind)
+        with self._lock:
+            histogram = self._histograms.get(key)
+            if histogram is None:
+                histogram = self._histograms[key] = LatencyHistogram(self.buckets)
+        histogram.observe(seconds)
+
+    def tenant_dict(self, tenant: str) -> dict:
+        """``{kind: histogram snapshot}`` for one tenant."""
+        with self._lock:
+            keys = [key for key in self._histograms if key[0] == tenant]
+        return {kind: self._histograms[(t, kind)].to_dict() for t, kind in keys}
+
+
+__all__ = ["DEFAULT_BUCKETS", "LatencyHistogram", "LatencyTracker"]

@@ -29,6 +29,7 @@ from dataclasses import dataclass, replace
 from pathlib import Path
 
 from repro.evaluation.detector import PackageDetection
+from repro.utils.atomic import atomic_write_text
 from repro.utils.hashing import stable_digest
 
 
@@ -229,9 +230,10 @@ class DiskScanResultCache:
             "detection": detection_to_dict(detection),
         }
         with self._lock:
-            tmp = path.with_suffix(".tmp")
-            tmp.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
-            os.replace(tmp, path)  # atomic: readers never see a torn entry
+            # atomic but deliberately not durable: losing a cache entry to a
+            # crash costs one re-scan, and the entry fsyncs would dominate
+            # small-batch scan latency
+            atomic_write_text(path, json.dumps(payload, sort_keys=True), durable=False)
             self._entries[key] = path
             self._entries.move_to_end(key)
             while len(self._entries) > self.max_entries:

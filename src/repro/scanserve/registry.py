@@ -36,13 +36,17 @@ import threading
 import time
 import uuid
 from dataclasses import dataclass, field, replace
-from typing import Callable, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Optional, Sequence, Tuple
 
 from repro.scanserve.atoms import DEFAULT_MIN_ATOM_LENGTH
 from repro.scanserve.index import RuleIndex
 from repro.semgrepx.compiler import CompiledSemgrepRuleSet
 from repro.utils.hashing import stable_digest
 from repro.yarax.compiler import CompiledRuleSet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only; scanserve stays import-light
+    from repro.store.recovery import RuleStore
+    from repro.store.snapshots import SnapshotManifest
 
 #: Event kinds carried by :class:`PublishEvent`.
 PUBLISH = "publish"
@@ -306,6 +310,7 @@ class RulesetRegistry:
         min_atom_length: int = DEFAULT_MIN_ATOM_LENGTH,
         automaton_threshold: Optional[int] = None,
         namespace: str = "",
+        store: Optional["RuleStore"] = None,
     ) -> None:
         self.min_atom_length = min_atom_length
         self.automaton_threshold = automaton_threshold
@@ -318,6 +323,8 @@ class RulesetRegistry:
         self._next_subscriber = 1
         self._retired: dict[int, RetirementRecord] = {}  # bounded tombstones
         self.subscriber_errors: list[str] = []  # bounded; diagnostics only
+        self.store = store  # durable journal+blobs (see repro.store); optional
+        self.recovery_notes: list[str] = []  # anomalies from the last recovery
 
     # -- event bus ----------------------------------------------------------------
     def subscribe(self, on_publish: PublishListener) -> int:
@@ -404,6 +411,10 @@ class RulesetRegistry:
                 stack_id=stack_id,
                 provenance=list(provenance or []),
             )
+            # write-ahead: the journal record (and its version blob) must be
+            # durable *before* the in-memory swap — a crash mid-journal leaves
+            # a torn record recovery truncates, never a half-published version
+            self._journal_publish(version, kind=kind, activated=activate)
             self._next_version += 1
             self._versions[version.version] = version
             if activate:
@@ -567,6 +578,8 @@ class RulesetRegistry:
             if version not in self._versions:
                 raise LookupError(f"unknown ruleset version {version}")
             previous = self._current
+            if self.store is not None and previous != version:
+                self.store.journal.append("activate", {"version": version})
             self._current = version
             target = self._versions[version]
         if previous != version:
@@ -591,6 +604,19 @@ class RulesetRegistry:
         with self._lock:
             if version == self._current:
                 raise ValueError(f"cannot retire the active version v{version}")
+            if version not in self._versions:
+                return None
+            if self.store is not None:
+                self.store.journal.append(
+                    "retire",
+                    {
+                        "version": version,
+                        "reason": reason,
+                        "retired_by": retired_by,
+                        "label": self._versions[version].label,
+                        "rule_count": self._versions[version].rule_count,
+                    },
+                )
             dropped = self._versions.pop(version, None)
             if dropped is None:
                 return None
@@ -676,3 +702,135 @@ class RulesetRegistry:
         registry._next_version = state["next_version"]
         registry._retired = state["retired"]
         return registry
+
+    # -- durable store ------------------------------------------------------------
+    def _journal_publish(self, version: RulesetVersion, kind: str,
+                         activated: bool) -> None:
+        """Blob the version and journal the publish (no-op without a store)."""
+        if self.store is None:
+            return
+        digest = self.store.blobs.put(version.to_bytes())
+        self.store.journal.append(
+            "publish",
+            {
+                "version": version.version,
+                "blob": digest,
+                "label": version.label,
+                "kind": kind,
+                "activated": activated,
+                "cache_key": version.cache_key,
+                "parent": version.parent,
+                "stack_id": version.stack_id,
+                "rule_count": version.rule_count,
+            },
+        )
+
+    def snapshot(self, store: Optional["RuleStore"] = None) -> "SnapshotManifest":
+        """Fold the registry's full state into a snapshot manifest.
+
+        Writes the whole-registry blob plus one standalone blob per live
+        version, anchored to the journal's current epoch.  Recovery after
+        this point loads the manifest and replays only the tail; compaction
+        may drop every journal segment at or below its epoch.
+        """
+        from repro.store.snapshots import SnapshotManifest
+
+        store = store or self.store
+        if store is None:
+            raise ValueError("snapshot needs a store")
+        registry_blob = store.blobs.put(self.to_bytes())
+        with self._lock:
+            versions = dict(self._versions)
+            current = self._current
+            namespace = self.namespace
+        version_blobs = {
+            number: store.blobs.put(version.to_bytes())
+            for number, version in sorted(versions.items())
+        }
+        manifest = SnapshotManifest(
+            epoch=store.journal.last_epoch,
+            registry_blob=registry_blob,
+            version_blobs=version_blobs,
+            current_version=current,
+            namespace=namespace,
+        )
+        return store.write_manifest(manifest)
+
+    @classmethod
+    def from_store(
+        cls,
+        store: "RuleStore",
+        min_atom_length: int = DEFAULT_MIN_ATOM_LENGTH,
+        automaton_threshold: Optional[int] = None,
+        namespace: str = "",
+    ) -> "RulesetRegistry":
+        """Recover a registry from its durable store: latest snapshot blob +
+        journal tail replay.
+
+        The snapshot restores every compiled version (rules, packed
+        automaton tables, provenance) straight from its blob — **no**
+        yarax/semgrepx compilation happens on this path.  Records after the
+        snapshot epoch are folded in one by one; publish records attach
+        their version blobs the same compile-free way.  An empty store
+        yields an empty registry wired to journal future writes (the
+        keyword arguments only matter on that fresh path — a snapshot
+        carries its own configuration).
+        """
+        manifest = store.latest_manifest()
+        after = 0
+        if manifest is not None:
+            registry = cls.from_bytes(
+                store.blobs.get_verified(manifest.registry_blob)
+            )
+            after = manifest.epoch
+        else:
+            registry = cls(
+                min_atom_length=min_atom_length,
+                automaton_threshold=automaton_threshold,
+                namespace=namespace,
+            )
+        registry._replay_store_tail(store, after)
+        registry.store = store
+        return registry
+
+    def _replay_store_tail(self, store: "RuleStore", after: int) -> None:
+        """Fold journal records after ``after`` into the in-memory state."""
+        for record in store.journal.replay(after=after):
+            data = record.data
+            if record.type == "publish":
+                digest = str(data.get("blob", ""))
+                try:
+                    version = RulesetVersion.from_bytes(
+                        store.blobs.get_verified(digest)
+                    )
+                except (LookupError, ValueError) as exc:
+                    self.recovery_notes.append(
+                        f"publish@{record.epoch} unrecoverable: {exc}"
+                    )
+                    continue
+                self._versions[version.version] = version
+                self._next_version = max(self._next_version, version.version + 1)
+                if data.get("activated"):
+                    self._current = version.version
+            elif record.type == "activate":
+                number = int(data.get("version", 0))
+                if number in self._versions:
+                    self._current = number
+                else:
+                    self.recovery_notes.append(
+                        f"activate@{record.epoch} targets unknown v{number}"
+                    )
+            elif record.type == "retire":
+                number = int(data.get("version", 0))
+                dropped = self._versions.pop(number, None)
+                if dropped is not None or number not in self._retired:
+                    self._retired[number] = RetirementRecord(
+                        version=number,
+                        label=str(data.get("label", "")),
+                        reason=str(data.get("reason", "")),
+                        retired_by=str(data.get("retired_by", "")),
+                        retired_at=record.ts,
+                        rule_count=int(data.get("rule_count", 0)),
+                    )
+                    while len(self._retired) > _MAX_RETIREMENT_RECORDS:
+                        del self._retired[next(iter(self._retired))]

@@ -1,0 +1,67 @@
+"""repro.store — durable state: write-ahead journal, snapshot blobs, recovery.
+
+The store is the system's crash boundary.  Registry publishes, gateway job
+transitions, arena rounds and fleet shard completions all journal here
+before they take effect in memory; snapshots of the compiled registry land
+in a content-addressed blob store so a restart is "load latest snapshot +
+replay journal tail" — no recompilation, no lost provenance.  See
+:func:`open_store` for the entry point and :mod:`repro.store.checkpoints`
+for the resume machinery ``rulellm orchestrate --resume`` uses.
+"""
+
+from repro.store.checkpoints import (
+    FleetCheckpointer,
+    FleetReconciliation,
+    ShardCheckpoint,
+    fleet_run_key,
+    rule_set_from_blob,
+    rule_set_to_blob,
+    shard_fingerprint,
+)
+from repro.store.faults import CrashPoint, SimulatedCrash
+from repro.store.journal import (
+    Journal,
+    JournalCorruption,
+    JournalRecord,
+    SegmentScan,
+    scan_segment,
+)
+from repro.store.recovery import (
+    CompactReport,
+    RecoveryReport,
+    RuleStore,
+    open_store,
+)
+from repro.store.snapshots import (
+    BlobStore,
+    ManifestIndex,
+    MissingBlob,
+    SnapshotManifest,
+    blob_digest,
+)
+
+__all__ = [
+    "BlobStore",
+    "CompactReport",
+    "CrashPoint",
+    "FleetCheckpointer",
+    "FleetReconciliation",
+    "Journal",
+    "JournalCorruption",
+    "JournalRecord",
+    "ManifestIndex",
+    "MissingBlob",
+    "RecoveryReport",
+    "RuleStore",
+    "SegmentScan",
+    "ShardCheckpoint",
+    "SimulatedCrash",
+    "SnapshotManifest",
+    "blob_digest",
+    "fleet_run_key",
+    "open_store",
+    "rule_set_from_blob",
+    "rule_set_to_blob",
+    "scan_segment",
+    "shard_fingerprint",
+]

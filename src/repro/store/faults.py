@@ -1,0 +1,71 @@
+"""Fault injection for crash-safety tests.
+
+:class:`CrashPoint` arms a byte budget on a journal: once the armed journal
+has written ``at_byte`` more bytes, the write stops mid-frame and
+:class:`SimulatedCrash` propagates — exactly what a power cut or SIGKILL
+leaves on disk (a torn frame), without needing a subprocess.  Tests then
+re-open the store and assert recovery truncates the torn tail and serves
+the last consistent state.
+
+The injection hooks :meth:`Journal._write`, the single choke point every
+segment write funnels through, so mid-publish, mid-checkpoint and
+mid-rotation crashes all fall out of one mechanism.
+"""
+
+from __future__ import annotations
+
+from repro.store.journal import Journal
+
+
+class SimulatedCrash(RuntimeError):
+    """The injected fault fired: the process 'died' mid-write."""
+
+
+class CrashPoint:
+    """Kill journal writes after ``at_byte`` more bytes hit the segment.
+
+    Partial semantics match a real crash: bytes *before* the budget line
+    are written (and left on disk un-fsynced), everything after is lost.
+    A budget of 0 kills the very next write before any byte lands.
+    """
+
+    def __init__(self, journal: Journal, at_byte: int) -> None:
+        if at_byte < 0:
+            raise ValueError("at_byte must be >= 0")
+        self.journal = journal
+        self.remaining = at_byte
+        self.fired = False
+        self._original = journal._write
+
+    def arm(self) -> "CrashPoint":
+        def failing_write(frame: bytes) -> None:
+            if self.remaining >= len(frame):
+                self.remaining -= len(frame)
+                self._original(frame)
+                return
+            self.fired = True
+            torn = frame[: self.remaining]
+            self.remaining = 0
+            if torn:
+                self._original(torn)
+            handle = self.journal._handle
+            if handle is not None:
+                handle.flush()  # the torn bytes reach the file, as a crash would
+            raise SimulatedCrash(
+                f"simulated crash: wrote {len(torn)}/{len(frame)} bytes"
+            )
+
+        self.journal._write = failing_write
+        return self
+
+    def disarm(self) -> None:
+        self.journal._write = self._original
+
+    def __enter__(self) -> "CrashPoint":
+        return self.arm()
+
+    def __exit__(self, *exc_info) -> None:
+        self.disarm()
+
+
+__all__ = ["CrashPoint", "SimulatedCrash"]

@@ -1,0 +1,97 @@
+"""Crash-safe file writes, in one place.
+
+Three subsystems grew their own "write to a sibling temp file, then
+``os.replace`` over the target" implementations (the disk result cache, the
+arena leaderboard, the on-disk registry layout) — and all three stopped at
+the rename.  A rename alone guarantees readers never observe a *torn* file,
+but not that the file survives power loss: the data must be ``fsync``-ed
+before the rename, and the *directory entry* must be ``fsync``-ed after it,
+or a crash can roll the whole operation back (or worse, leave the new name
+pointing at zero-length data on some filesystems).
+
+This module is the single implementation.  ``durable=True`` (the default)
+does the full fsync-file-then-fsync-directory dance — what the write-ahead
+journal, checkpoints and registry layouts need.  ``durable=False`` keeps
+only the atomicity (readers still never see partial content) and skips the
+syncs — right for throwaway data like cache entries, where losing a recent
+write costs a re-scan, not correctness.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+__all__ = [
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "fsync_dir",
+    "replace_durable",
+]
+
+
+def fsync_dir(directory: str | os.PathLike) -> bool:
+    """Flush a directory entry table to disk; ``False`` where unsupported.
+
+    Windows cannot open directories for syncing and some filesystems
+    (network mounts) refuse — treated as best-effort, not an error.
+    """
+    try:
+        fd = os.open(os.fspath(directory), os.O_RDONLY)
+    except OSError:
+        return False
+    try:
+        os.fsync(fd)
+        return True
+    except OSError:
+        return False
+    finally:
+        os.close(fd)
+
+
+def replace_durable(scratch: str | os.PathLike, target: str | os.PathLike) -> None:
+    """``os.replace`` plus a directory fsync so the rename itself persists."""
+    os.replace(scratch, target)
+    fsync_dir(Path(target).parent)
+
+
+def atomic_write_bytes(
+    path: str | os.PathLike, data: bytes, durable: bool = True
+) -> Path:
+    """Atomically (and by default durably) write ``data`` to ``path``.
+
+    The write lands in a same-directory scratch file first, so the rename
+    is atomic on every platform ``os.replace`` supports.  With ``durable``
+    the file content is fsync-ed before the rename and the directory after
+    it; without, concurrent readers still never see a torn file but a crash
+    may lose the write entirely.
+    """
+    target = Path(path)
+    scratch = target.with_name(target.name + ".tmp")
+    fd = os.open(os.fspath(scratch), os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            if durable:
+                handle.flush()
+                os.fsync(handle.fileno())
+    except BaseException:
+        try:
+            os.unlink(scratch)
+        except OSError:
+            pass
+        raise
+    os.replace(scratch, target)
+    if durable:
+        fsync_dir(target.parent)
+    return target
+
+
+def atomic_write_text(
+    path: str | os.PathLike,
+    text: str,
+    encoding: str = "utf-8",
+    durable: bool = True,
+) -> Path:
+    """Text-mode convenience over :func:`atomic_write_bytes`."""
+    return atomic_write_bytes(path, text.encode(encoding), durable=durable)
