@@ -6,7 +6,11 @@ allowed fraction.  Guarded lanes:
 
 * the 200-rule ``indexed`` lane;
 * every ``registry_scale`` point present in **both** reports (matched by
-  rule count — new points are allowed to appear without a baseline).
+  rule count — new points are allowed to appear without a baseline);
+* the ``obs_overhead`` section when the fresh report carries one: the
+  disabled-tracer observability seams may cost at most
+  ``--max-obs-overhead`` of a 1-shard batch (no baseline needed — the
+  ceiling is absolute, so older baselines without the section still work).
 
 The guarded metric is the indexed/naive **speedup** of each lane, not raw
 packages/sec: the baseline is committed from one machine and the fresh
@@ -42,7 +46,12 @@ def _registry_points(report: dict) -> dict[int, dict]:
     return {int(point["rules"]): point for point in raw}
 
 
-def check(baseline: dict, fresh: dict, max_regression: float) -> list[str]:
+def check(
+    baseline: dict,
+    fresh: dict,
+    max_regression: float,
+    max_obs_overhead: float = 0.05,
+) -> list[str]:
     """Failure messages (empty = the fresh report passes the guard)."""
     failures: list[str] = []
 
@@ -86,6 +95,21 @@ def check(baseline: dict, fresh: dict, max_regression: float) -> list[str]:
     for rules in sorted(set(fresh_points) - set(base_points)):
         pps = fresh_points[rules]["indexed"]["packages_per_second"]
         print(f"registry_scale ({rules} rules): new point, {pps:.0f} pkg/s (no baseline)")
+    obs = fresh.get("obs_overhead")
+    if obs and obs.get("disabled_overhead_fraction") is not None:
+        fraction = float(obs["disabled_overhead_fraction"])
+        verdict = "ok" if fraction <= max_obs_overhead else "REGRESSED"
+        print(
+            f"obs_overhead: disabled-tracer seams {fraction:.4%} of a 1-shard "
+            f"batch (ceiling {max_obs_overhead:.0%}) {verdict} "
+            f"[noop span {obs.get('noop_span_ns', '?')} ns, "
+            f"counter inc {obs.get('counter_inc_ns', '?')} ns]"
+        )
+        if fraction > max_obs_overhead:
+            failures.append(
+                f"obs_overhead: disabled-tracer seams cost {fraction:.2%} "
+                f"of a 1-shard batch > ceiling {max_obs_overhead:.0%}"
+            )
     return failures
 
 
@@ -99,10 +123,17 @@ def main(argv: list[str] | None = None) -> int:
         default=0.25,
         help="allowed fractional speedup drop before failing (default 0.25)",
     )
+    parser.add_argument(
+        "--max-obs-overhead",
+        type=float,
+        default=0.05,
+        help="ceiling on the disabled-tracer obs seam cost as a fraction of "
+             "a 1-shard batch, when the fresh report measures it (default 0.05)",
+    )
     args = parser.parse_args(argv)
     baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
     fresh = json.loads(args.fresh.read_text(encoding="utf-8"))
-    failures = check(baseline, fresh, args.max_regression)
+    failures = check(baseline, fresh, args.max_regression, args.max_obs_overhead)
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     if not failures:

@@ -38,6 +38,10 @@ MIN_SPEEDUP = 5.0
 CROSSOVER_ATOM_SIZES = (64, 128, 256, 384, 512, 1024, 2048, 4096)
 CROSSOVER_TEXTS = 48
 
+#: Ceiling on what the repro.obs seams may cost the scan hot path when the
+#: tracer is disabled (the default everywhere outside --trace runs).
+MAX_OBS_OVERHEAD = 0.05
+
 
 def _synthetic_registry_rules(count: int, start: int = 0) -> str:
     """Registry-style filler rules: unique atoms that rarely match.
@@ -157,6 +161,74 @@ def test_bench_scan_throughput(benchmark, suite, report_dir):
                 f"process shards ({best_process} pkg/s) should at least match "
                 f"in-process ({inproc} pkg/s) on {cpu_count} cores"
             )
+
+        # observability tax: scan_batch now crosses repro.obs seams (spans
+        # around batch/dispatch/chunk, registry counter and histogram
+        # updates).  With the tracer *disabled* — the default — the span
+        # seams must be no-ops: measure both unit costs directly, scale them
+        # to one batch, and guard the fraction of the measured 1-shard batch
+        # time (also enforced by check_regression.py on fresh reports).  An
+        # A/B lane with tracing fully on is reported for inspection but not
+        # asserted: on a ~100ms batch, scheduler noise dwarfs four spans.
+        from repro.obs import (
+            configure_tracing,
+            disable_tracing,
+            get_registry,
+            get_tracer,
+        )
+
+        tracer = get_tracer()
+        assert not tracer.enabled, "bench must start with tracing disabled"
+        reps = 100_000
+        start = time.perf_counter()
+        for _ in range(reps):
+            with tracer.span("bench.noop", packages=0):
+                pass
+        per_span = (time.perf_counter() - start) / reps
+
+        probe = get_registry().counter(
+            "repro_bench_obs_probe_total",
+            "bench-only unit-cost probe; never emitted by product code",
+            ("lane",),
+        )
+        start = time.perf_counter()
+        for _ in range(reps):
+            probe.inc(lane="bench")
+        per_inc = (time.perf_counter() - start) / reps
+
+        one_shard_seconds = report["shards"][0]["seconds"]
+        # per in-process batch: scan.batch + scan.dispatch + one scan.chunk
+        # span per chunk (1 here), and ~8 registry updates (batch/package/
+        # cache counters + the batch-seconds histogram observe)
+        disabled_overhead = per_span * 3.0 + per_inc * 8.0
+        overhead_fraction = disabled_overhead / max(one_shard_seconds, 1e-9)
+
+        configure_tracing(enabled=True)
+        try:
+            traced_service = ScanService(
+                config=ScanServiceConfig(
+                    shards=1, mode="inprocess", enable_cache=False
+                )
+            )
+            traced_service.publish(yara=yara, label="bench-traced")
+            traced_batch = traced_service.scan_batch(packages)
+        finally:
+            disable_tracing()
+        report["obs_overhead"] = {
+            "noop_span_ns": round(per_span * 1e9, 1),
+            "counter_inc_ns": round(per_inc * 1e9, 1),
+            "disabled_overhead_fraction": round(overhead_fraction, 6),
+            "traced_inprocess": {
+                "seconds": round(traced_batch.elapsed_seconds, 4),
+                "packages_per_second": round(
+                    traced_batch.packages_per_second, 2
+                ),
+            },
+        }
+        assert overhead_fraction <= MAX_OBS_OVERHEAD, (
+            f"disabled-tracer obs seams cost {overhead_fraction:.2%} of a "
+            f"1-shard batch (ceiling {MAX_OBS_OVERHEAD:.0%})"
+        )
 
         # registry-scale points: 1k live rules (a single busy tenant) and 5k
         # (a gateway's merged multi-tenant inventory).  The indexed lane is

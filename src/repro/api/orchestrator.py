@@ -48,6 +48,8 @@ from repro.extraction.embedding import CodeEmbedder
 from repro.llm.base import LLMProvider
 from repro.llm.profiles import get_profile
 from repro.llm.simulated import SimulatedAnalystLLM
+from repro.obs.metrics import get_registry as _obs_registry
+from repro.obs.trace import get_tracer
 from repro.scanserve.registry import (
     RulesetRegistry,
     RulesetVersion,
@@ -379,8 +381,29 @@ class GenerationOrchestrator:
         if publish not in _PUBLISH_MODES:
             raise ValueError(f"publish must be one of {_PUBLISH_MODES}, got {publish!r}")
         corpus = list(packages)
+        with get_tracer().span(
+            "fleet.run", publish=publish, packages=len(corpus)
+        ) as fleet_span:
+            result = self._run_traced(
+                corpus, publish, label, activate, resume, fleet_span
+            )
+        _obs_registry().counter(
+            "repro_fleet_runs_total", "Fleet orchestrator runs."
+        ).inc()
+        return result
+
+    def _run_traced(
+        self,
+        corpus: list,
+        publish: str,
+        label: str,
+        activate: bool,
+        resume: bool,
+        fleet_span,
+    ) -> FleetResult:
         started = time.perf_counter()
         shards = self.plan.partition(corpus, self.config, self.embedder)
+        fleet_span.set_attr("shards", len(shards))
         label = label or self.label
 
         checkpointer = None
@@ -484,8 +507,17 @@ class GenerationOrchestrator:
     ) -> list[ShardRun]:
         completed = 0
         completed_lock = threading.Lock()
+        tracer = get_tracer()
+        # pool threads don't inherit the contextvar; hand the ambient span
+        # context to each shard explicitly so shard spans join this trace
+        parent_ctx = tracer.current_context()
 
         def run_one(shard: CorpusShard) -> ShardRun:
+            with tracer.activate(parent_ctx):
+                with tracer.span("fleet.shard", shard=shard.label):
+                    return run_one_inner(shard)
+
+        def run_one_inner(shard: CorpusShard) -> ShardRun:
             nonlocal completed
             session = GenerationSession(
                 config=self.config,

@@ -43,7 +43,16 @@ from repro.extraction.embedding import CodeEmbedder
 from repro.llm.base import LLMProvider
 from repro.llm.profiles import get_profile
 from repro.llm.simulated import SimulatedAnalystLLM
+from repro.obs.metrics import get_registry as _obs_registry
+from repro.obs.trace import get_tracer
 from repro.scanserve.registry import RulesetRegistry, RulesetVersion
+
+_GENERATE_RUNS = _obs_registry().counter(
+    "repro_generate_runs_total", "Generation session runs."
+)
+_STAGE_SECONDS = _obs_registry().histogram(
+    "repro_stage_seconds", "Wall time per pipeline stage.", ("stage",)
+)
 from repro.scanserve.scheduler import BoundedQueue
 
 
@@ -209,22 +218,30 @@ class GenerationSession:
         )
         context.rule_set.model = self.provider.model_name
         context.info.package_count = len(packages)
+        tracer = get_tracer()
         if packages:
             try:
-                for stage in self.stages:
-                    started = time.perf_counter()
-                    stage.run(context)
-                    context.stage_seconds[stage.name] = (
-                        context.stage_seconds.get(stage.name, 0.0)
-                        + time.perf_counter()
-                        - started
-                    )
+                with tracer.span(
+                    "session.generate",
+                    packages=len(packages),
+                    shard=self.shard_label,
+                ):
+                    for stage in self.stages:
+                        started = time.perf_counter()
+                        with tracer.span(f"stage.{stage.name}"):
+                            stage.run(context)
+                        elapsed = time.perf_counter() - started
+                        context.stage_seconds[stage.name] = (
+                            context.stage_seconds.get(stage.name, 0.0) + elapsed
+                        )
+                        _STAGE_SECONDS.observe(elapsed, stage=stage.name)
             except BaseException:
                 # put the feed back (ahead of anything fed concurrently)
                 with self._feed_lock:
                     self._pending[:0] = packages
                     self._batch_sizes[:0] = batch_sizes
                 raise
+        _GENERATE_RUNS.inc()
         version: Optional[RulesetVersion] = None
         if self.registry is not None and self.auto_publish and context.rule_set.rules:
             version = self.registry.publish_generated(

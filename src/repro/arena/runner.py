@@ -57,6 +57,8 @@ from repro.arena.scoring import (
     score_rules,
 )
 from repro.arena.traffic import ReplayTraffic
+from repro.obs.metrics import get_registry as _obs_registry
+from repro.obs.trace import get_tracer
 from repro.scanserve.registry import (
     PublishEvent,
     RulesetVersion,
@@ -262,6 +264,23 @@ class ArenaRunner:
             return self._round(version)
 
     def _round(self, version: Optional[int]) -> ArenaRound:
+        with get_tracer().span("arena.round") as span:
+            record = self._round_inner(version)
+            span.set_attr("index", record.index)
+            span.set_attr("packages", record.packages)
+            span.set_attr("retired", len(record.retired_rules))
+        obs = _obs_registry()
+        obs.counter("repro_arena_rounds_total", "Arena rounds completed.").inc()
+        obs.histogram(
+            "repro_arena_round_seconds", "Wall time per arena round."
+        ).observe(record.elapsed_seconds)
+        if record.retired_rules:
+            obs.counter(
+                "repro_arena_retired_rules_total", "Rules auto-retired by the arena."
+            ).inc(len(record.retired_rules))
+        return record
+
+    def _round_inner(self, version: Optional[int]) -> ArenaRound:
         started = time.perf_counter()
         target = (
             self.registry.current() if version is None else self.registry.get(version)

@@ -1,6 +1,6 @@
 """Command-line interface (``rulellm``).
 
-Eleven subcommands cover the common workflows:
+Twelve subcommands cover the common workflows:
 
 ``rulellm generate``
     Build a synthetic corpus (or load unpacked packages from a directory),
@@ -66,6 +66,12 @@ Eleven subcommands cover the common workflows:
     stats, ``compact`` folds the journal prefix into a snapshot and drops
     replayed segments, ``migrate`` converts a ``v<N>/``+``ACTIVE``
     registry directory into a store.
+
+``rulellm obs``
+    Observability (:mod:`repro.obs`): ``spans`` renders the span trees
+    recorded by ``--trace`` on orchestrate/serve, ``top`` ranks the
+    slowest spans, ``metrics`` scrapes a running gateway's unified
+    metrics registry as a table, Prometheus text, or JSON snapshot.
 """
 
 from __future__ import annotations
@@ -185,6 +191,9 @@ def _add_orchestrate(subparsers) -> None:
                         help=argparse.SUPPRESS)
     parser.add_argument("--json", default=None,
                         help="write the fleet/re-scan report to this file")
+    parser.add_argument("--trace", default=None, metavar="FILE",
+                        help="enable end-to-end tracing and append finished "
+                             "spans to this JSONL file (see 'rulellm obs')")
 
 
 def _add_registry(subparsers) -> None:
@@ -462,6 +471,9 @@ def _add_serve(subparsers) -> None:
                              "tenants/<name> substore")
     parser.add_argument("--ready-file", default=None,
                         help="write 'host port' here once listening (for scripts)")
+    parser.add_argument("--trace", default=None, metavar="FILE",
+                        help="enable request tracing and append finished spans "
+                             "to this JSONL file (also served at /trace/<id>)")
 
 
 def _add_client(subparsers) -> None:
@@ -477,6 +489,10 @@ def _add_client(subparsers) -> None:
     metrics = actions.add_parser(
         "metrics", help="operational snapshot: per-tenant queues, quotas, rejections"
     )
+    metrics.add_argument("--format", choices=["table", "json", "prom"],
+                         default="table",
+                         help="table: human summary (default); json: the full "
+                              "JSON document; prom: Prometheus text exposition")
     metrics.add_argument("--json", default=None,
                          help="write the metrics document to this file")
 
@@ -763,6 +779,122 @@ def _load_malware_corpus(args):
     return dataset.malware, dataset.packages, []
 
 
+def _add_obs(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "obs",
+        help="inspect traces and metrics (pair with --trace on "
+             "orchestrate/serve)",
+    )
+    actions = parser.add_subparsers(dest="obs_command", required=True)
+
+    spans = actions.add_parser(
+        "spans", help="render the span trees recorded in a trace JSONL file"
+    )
+    spans.add_argument("trace_file",
+                       help="JSONL span sink written via --trace")
+    spans.add_argument("--trace-id", default=None,
+                       help="render only this trace")
+
+    top = actions.add_parser(
+        "top", help="slowest spans across a trace JSONL file"
+    )
+    top.add_argument("trace_file")
+    top.add_argument("--limit", type=int, default=10,
+                     help="how many spans to show (default 10)")
+
+    metrics = actions.add_parser(
+        "metrics", help="the unified metrics registry of a running gateway"
+    )
+    metrics.add_argument("--url", default="http://127.0.0.1:8711",
+                         help="gateway base URL (default http://127.0.0.1:8711)")
+    metrics.add_argument("--format", choices=["table", "prom", "json"],
+                         default="table",
+                         help="table: aligned text (default); prom: Prometheus "
+                              "exposition; json: registry snapshot document")
+
+
+def _read_span_records(path: Path):
+    """Span records from a ``--trace`` JSONL sink (None on read failure)."""
+    import json as json_module
+
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines()
+    except OSError as exc:
+        print(f"cannot read {path}: {exc}", file=sys.stderr)
+        return None
+    records = []
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json_module.loads(line)
+        except ValueError:
+            continue  # torn tail write; the sink is append-only
+        if isinstance(record, dict):
+            records.append(record)
+    return records
+
+
+def _cmd_obs(args) -> int:
+    import json as json_module
+
+    if args.obs_command in ("spans", "top"):
+        records = _read_span_records(Path(args.trace_file))
+        if records is None:
+            return 1
+        if not records:
+            print(f"no span records in {args.trace_file}", file=sys.stderr)
+            return 1
+        if args.obs_command == "spans":
+            from repro.obs import format_span_tree
+
+            rendered = format_span_tree(records, trace_id=args.trace_id) + "\n"
+        else:
+            from repro.obs import slowest_spans
+
+            rows = [f"{'ms':>10}  {'span':<24} trace"]
+            for record in slowest_spans(records, limit=max(1, args.limit)):
+                millis = float(record.get("seconds", 0.0)) * 1000.0
+                rows.append(
+                    f"{millis:>10.2f}  {record.get('name', '?'):<24} "
+                    f"{record.get('trace_id', '')[:16]}"
+                )
+            rendered = "\n".join(rows) + "\n"
+        try:
+            sys.stdout.write(rendered)
+        except BrokenPipeError:
+            pass  # output piped into head; the render already succeeded
+        return 0
+
+    # obs metrics: scrape a running gateway
+    from repro.gateway import GatewayClient, GatewayError
+
+    client = GatewayClient(args.url)
+    try:
+        if args.format == "prom":
+            rendered = client.metrics_text()
+        elif args.format == "json":
+            rendered = json_module.dumps(
+                client.metrics_snapshot(), indent=2, sort_keys=True
+            ) + "\n"
+        else:
+            from repro.obs import format_metrics_table
+
+            rendered = format_metrics_table(client.metrics_snapshot()) + "\n"
+    except GatewayError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    except (ConnectionError, OSError) as exc:
+        print(f"cannot reach gateway at {args.url}: {exc}", file=sys.stderr)
+        return 1
+    try:
+        sys.stdout.write(rendered)
+    except BrokenPipeError:
+        pass  # output piped into head; the scrape already succeeded
+    return 0
+
+
 def _cmd_orchestrate(args) -> int:
     import json as json_module
 
@@ -775,6 +907,12 @@ def _cmd_orchestrate(args) -> int:
         ScanService,
         ScanServiceConfig,
     )
+
+    if args.trace:
+        from repro.obs import configure_tracing
+
+        configure_tracing(sink=args.trace)
+        print(f"tracing enabled -> {args.trace} (inspect with 'rulellm obs')")
 
     loaded = _load_malware_corpus(args)
     if loaded is None:
@@ -1116,6 +1254,12 @@ def _cmd_serve(args) -> int:
         TenantQuota,
     )
 
+    if args.trace:
+        from repro.obs import configure_tracing
+
+        configure_tracing(sink=args.trace)
+        print(f"tracing enabled -> {args.trace} (inspect with 'rulellm obs')")
+
     default_quota = TenantQuota(capacity=args.capacity, refill_per_second=args.refill)
     config = GatewayConfig(
         workers=max(1, args.workers),
@@ -1237,7 +1381,16 @@ def _run_client_command(client, args) -> int:
         return 0
 
     if args.client_command == "metrics":
+        if args.format == "prom":
+            sys.stdout.write(client.metrics_text())
+            return 0
         metrics = client.metrics()
+        if args.format == "json":
+            import json as json_module
+
+            print(json_module.dumps(metrics, indent=2, sort_keys=True))
+            _client_write_json(metrics, args.json)
+            return 0
         jobs = metrics["jobs"]
         print(f"jobs: {jobs.get('queued', 0)} queued, "
               f"{jobs.get('running', 0)} running, "
@@ -1499,6 +1652,7 @@ def main(argv: list[str] | None = None) -> int:
     _add_client(subparsers)
     _add_arena(subparsers)
     _add_evaluate(subparsers)
+    _add_obs(subparsers)
     args = parser.parse_args(argv)
     if args.command == "generate":
         return _cmd_generate(args)
@@ -1522,6 +1676,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_arena(args)
     if args.command == "evaluate":
         return _cmd_evaluate(args)
+    if args.command == "obs":
+        return _cmd_obs(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -46,6 +46,14 @@ from repro.gateway.jobs import (
 )
 from repro.gateway.metrics import LatencyTracker
 from repro.gateway.notify import NotificationHub, Subscription
+from repro.obs.metrics import get_registry as _obs_registry
+from repro.obs.trace import get_tracer
+
+_JOBS_FINISHED = _obs_registry().counter(
+    "repro_gateway_jobs_total",
+    "Gateway jobs reaching a terminal state, by kind and state.",
+    ("kind", "state"),
+)
 from repro.gateway.ratelimit import Clock, RateLimited
 from repro.gateway.tenants import Tenant, TenantManager, TenantQuota, UnknownTenant
 from repro.scanserve.registry import PublishEvent, RulesetRegistry
@@ -66,6 +74,12 @@ class GatewayConfig:
     seed: int = 1633
     feed_capacity: int = 4096  # streaming-ingest buffer per generation feed
     feed_put_timeout: float = 5.0  # backpressure: how long a feed put may block
+
+
+def _with_ctx(tracer, ctx, fn):
+    """Run ``fn`` with ``ctx`` installed as the ambient span context."""
+    with tracer.activate(ctx):
+        return fn()
 
 
 def _event_payload(event: PublishEvent) -> dict:
@@ -201,15 +215,23 @@ class GatewayApp:
         if not batch:
             raise ValueError("scan batch is empty")
         loop = self._require_loop()
+        tracer = get_tracer()
 
         async def run(job: Job) -> dict:
-            def work() -> dict:
-                result = tenant.service.scan_batch(batch)
-                return result.to_dict(include_detections=False)
+            with tracer.span_from(job.trace, "job.scan", job=job.id) as span:
+                job_ctx = span.context  # explicit hand-off: executor threads
 
-            return await loop.run_in_executor(None, work)
+                # don't inherit the loop's contextvars
+                def work() -> dict:
+                    with tracer.activate(job_ctx):
+                        result = tenant.service.scan_batch(batch)
+                        return result.to_dict(include_detections=False)
 
-        return self.jobs.submit("scan", tenant_name, run, label=label)
+                return await loop.run_in_executor(None, work)
+
+        job = self.jobs.submit("scan", tenant_name, run, label=label)
+        job.trace = tracer.carrier()
+        return job
 
     # -- streaming generation feeds ---------------------------------------------------
     async def open_generation(self, tenant_name: str, label: str = "") -> Job:
@@ -229,17 +251,29 @@ class GatewayApp:
             shard_label=tenant_name,
         )
 
+        tracer = get_tracer()
+
         async def run(job: Job) -> dict:
-            try:
-                consumed = await loop.run_in_executor(
-                    None, lambda: session.consume(feed, batch_size=64)
-                )
-                result = await loop.run_in_executor(
-                    None, lambda: session.generate(label or job.label or tenant_name)
-                )
-            finally:
-                feed.close()
-                self._feeds.pop(job.id, None)
+            with tracer.span_from(job.trace, "job.generate", job=job.id) as span:
+                job_ctx = span.context
+                try:
+                    consumed = await loop.run_in_executor(
+                        None,
+                        lambda: _with_ctx(
+                            tracer, job_ctx, lambda: session.consume(feed, batch_size=64)
+                        ),
+                    )
+                    result = await loop.run_in_executor(
+                        None,
+                        lambda: _with_ctx(
+                            tracer,
+                            job_ctx,
+                            lambda: session.generate(label or job.label or tenant_name),
+                        ),
+                    )
+                finally:
+                    feed.close()
+                    self._feeds.pop(job.id, None)
             counts = result.rule_set.counts()
             return {
                 "consumed": consumed,
@@ -252,6 +286,7 @@ class GatewayApp:
             }
 
         job = self.jobs.submit("generate", tenant_name, run, label=label)
+        job.trace = tracer.carrier()
         self._feeds[job.id] = feed
         return job
 
@@ -336,32 +371,39 @@ class GatewayApp:
         count = max(1, int(rounds))
         loop = self._require_loop()
         runner = self._arena_runner(tenant)
+        tracer = get_tracer()
 
         async def run(job: Job) -> dict:
-            def work() -> dict:
-                records = [runner.run_round() for _ in range(count)]
-                return {
-                    "rounds": [
-                        {
-                            "index": record.index,
-                            "version": record.version,
-                            "packages": record.packages,
-                            "malicious": record.malicious,
-                            "retired_rules": record.retired_rules,
-                            "actions": len(record.actions),
-                        }
-                        for record in records
-                    ],
-                    "leaderboard": [
-                        entry.to_dict()
-                        for entry in runner.leaderboard.rankings(limit=10)
-                    ],
-                    "summary": records[-1].describe(),
-                }
+            with tracer.span_from(job.trace, "job.arena", job=job.id) as span:
+                job_ctx = span.context
+                return await loop.run_in_executor(
+                    None, lambda: _with_ctx(tracer, job_ctx, work)
+                )
 
-            return await loop.run_in_executor(None, work)
+        def work() -> dict:
+            records = [runner.run_round() for _ in range(count)]
+            return {
+                "rounds": [
+                    {
+                        "index": record.index,
+                        "version": record.version,
+                        "packages": record.packages,
+                        "malicious": record.malicious,
+                        "retired_rules": record.retired_rules,
+                        "actions": len(record.actions),
+                    }
+                    for record in records
+                ],
+                "leaderboard": [
+                    entry.to_dict()
+                    for entry in runner.leaderboard.rankings(limit=10)
+                ],
+                "summary": records[-1].describe(),
+            }
 
-        return self.jobs.submit("arena", tenant_name, run, label=label)
+        job = self.jobs.submit("arena", tenant_name, run, label=label)
+        job.trace = tracer.carrier()
+        return job
 
     # -- job access -------------------------------------------------------------------
     def job(self, tenant_name: str, job_id: str) -> Job:
@@ -407,8 +449,10 @@ class GatewayApp:
         Runs synchronously inside the queue's state changes: the journal
         record is durable before any client can observe the new state.
         """
-        if state in TERMINAL_STATES and job.seconds is not None:
-            self.latency.observe(job.tenant, job.kind, job.seconds)
+        if state in TERMINAL_STATES:
+            _JOBS_FINISHED.inc(kind=job.kind, state=state)
+            if job.seconds is not None:
+                self.latency.observe(job.tenant, job.kind, job.seconds)
         if self.store is None:
             return
         record_type = {QUEUED: "job-submitted", RUNNING: "job-started"}.get(
@@ -495,6 +539,14 @@ class GatewayApp:
             "accepting": self.jobs.accepting,
             "interrupted_jobs": len(self.interrupted_jobs),
         }
+
+    def trace(self, trace_id: str) -> Optional[dict]:
+        """Spans of one trace from the process tracer's ring buffer, or
+        ``None`` when the id is unknown (or tracing is off)."""
+        spans = get_tracer().spans(trace_id=trace_id)
+        if not spans:
+            return None
+        return {"trace_id": trace_id, "spans": spans}
 
     def to_dict(self) -> dict:
         return {

@@ -43,6 +43,16 @@ from repro.corpus.package import Package, PackageFile, PackageMetadata
 from repro.gateway.app import GatewayApp, GatewayConfig
 from repro.gateway.ratelimit import Backoff, RateLimited, retry_sync
 from repro.gateway.tenants import TenantQuota, UnknownTenant
+from repro.obs.expo import render_prometheus
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
+
+_PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+_REQUESTS = get_registry().counter(
+    "repro_gateway_requests_total",
+    "HTTP requests served, by method and status.",
+    ("method", "status"),
+)
 
 _MAX_BODY = 64 * 1024 * 1024  # 64 MiB: scan batches carry whole packages
 _MAX_HEADER_LINE = 16 * 1024
@@ -138,15 +148,20 @@ class GatewayHttpServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         status, payload, extra_headers = 500, {"error": "internal error"}, {}
+        method = "?"
         try:
             request = await self._read_request(reader)
             if request is None:
                 writer.close()
                 return
-            method, path, query, body = request
-            status, payload, extra_headers = await self._route(
-                method, path, query, body
-            )
+            method, path, query, body, headers = request
+            with get_tracer().span(
+                "gateway.request", method=method, path=path
+            ) as span:
+                status, payload, extra_headers = await self._route(
+                    method, path, query, body, headers
+                )
+                span.set_attr("status", status)
         except _HttpError as exc:
             status, payload, extra_headers = exc.status, {"error": str(exc)}, {}
         except RateLimited as exc:
@@ -161,6 +176,7 @@ class GatewayHttpServer:
             status, payload, extra_headers = 500, {
                 "error": f"{type(exc).__name__}: {exc}"
             }, {}
+        _REQUESTS.inc(method=method, status=str(status))
         try:
             await self._respond(writer, status, payload, extra_headers)
         except (ConnectionError, OSError):
@@ -170,7 +186,7 @@ class GatewayHttpServer:
 
     async def _read_request(
         self, reader: asyncio.StreamReader
-    ) -> Optional[Tuple[str, str, dict, dict]]:
+    ) -> Optional[Tuple[str, str, dict, dict, dict]]:
         try:
             request_line = await reader.readline()
         except (ConnectionError, asyncio.LimitOverrunError):
@@ -207,18 +223,25 @@ class GatewayHttpServer:
             key: values[-1]
             for key, values in urllib.parse.parse_qs(parsed.query).items()
         }
-        return method.upper(), parsed.path, query, body
+        return method.upper(), parsed.path, query, body, headers
 
     async def _respond(
         self,
         writer: asyncio.StreamWriter,
         status: int,
-        payload: dict,
+        payload,
         extra_headers: Optional[dict] = None,
     ) -> None:
-        data = json.dumps(payload, sort_keys=True).encode("utf-8")
+        # a str payload is served verbatim (the Prometheus text lane);
+        # everything else stays the JSON document it always was
+        if isinstance(payload, str):
+            data = payload.encode("utf-8")
+            content_type = "text/plain; charset=utf-8"
+        else:
+            data = json.dumps(payload, sort_keys=True).encode("utf-8")
+            content_type = "application/json"
         headers = {
-            "Content-Type": "application/json",
+            "Content-Type": content_type,
             "Content-Length": str(len(data)),
             "Connection": "close",
         }
@@ -230,8 +253,8 @@ class GatewayHttpServer:
 
     # -- routing --------------------------------------------------------------------
     async def _route(
-        self, method: str, path: str, query: dict, body: dict
-    ) -> Tuple[int, dict, dict]:
+        self, method: str, path: str, query: dict, body: dict, headers: dict
+    ) -> Tuple[int, object, dict]:
         parts = [part for part in path.split("/") if part]
         app = self.app
 
@@ -244,7 +267,24 @@ class GatewayHttpServer:
             }, {}
 
         if method == "GET" and parts == ["metrics"]:
+            # content negotiation: the JSON document stays the default (and
+            # byte-stable for existing clients); Prometheus text is opt-in
+            # via ?format=prometheus or an Accept: text/plain header
+            fmt = query.get("format", "")
+            accept = headers.get("accept", "")
+            if fmt == "prometheus" or (not fmt and "text/plain" in accept):
+                return 200, render_prometheus(get_registry()), {
+                    "Content-Type": _PROMETHEUS_CONTENT_TYPE
+                }
+            if fmt == "snapshot":
+                return 200, get_registry().snapshot(), {}
             return 200, app.metrics(), {}
+
+        if method == "GET" and len(parts) == 2 and parts[0] == "trace":
+            found = app.trace(parts[1])
+            if found is None:
+                raise _HttpError(404, f"unknown trace {parts[1]!r}")
+            return 200, found, {}
 
         if parts == ["tenants"]:
             if method == "GET":
@@ -420,12 +460,44 @@ class GatewayClient:
             raise GatewayError(response.status, data.get("error", "request failed"))
         return data
 
+    def _request_text(
+        self, path: str, accept: str, timeout: Optional[float] = None
+    ) -> str:
+        """GET a non-JSON document (the Prometheus exposition lane)."""
+        import http.client
+
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=timeout or self.timeout
+        )
+        try:
+            connection.request("GET", path, headers={"Accept": accept})
+            response = connection.getresponse()
+            raw = response.read()
+        finally:
+            connection.close()
+        text = raw.decode("utf-8")
+        if response.status >= 400:
+            raise GatewayError(response.status, text.strip() or "request failed")
+        return text
+
     # -- endpoints ------------------------------------------------------------------
     def health(self) -> dict:
         return self._request("GET", "/healthz")
 
     def metrics(self) -> dict:
         return self._request("GET", "/metrics")
+
+    def metrics_text(self) -> str:
+        """The Prometheus text exposition of the gateway's registry."""
+        return self._request_text("/metrics?format=prometheus", "text/plain")
+
+    def metrics_snapshot(self) -> dict:
+        """The gateway's :class:`~repro.obs.MetricsRegistry` snapshot."""
+        return self._request("GET", "/metrics?format=snapshot")
+
+    def trace(self, trace_id: str) -> dict:
+        """Span records of one trace (404 -> :class:`GatewayError`)."""
+        return self._request("GET", f"/trace/{trace_id}")
 
     def tenants(self) -> List[dict]:
         return self._request("GET", "/tenants")["tenants"]

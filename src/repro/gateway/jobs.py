@@ -61,6 +61,10 @@ class Job:
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
     cancel_requested: bool = False
+    #: serialized span context (``{"trace_id", "span_id"}``) captured at
+    #: submission, so the handler's spans join the submitting request's
+    #: trace; ``None`` when the submission was untraced
+    trace: Optional[dict] = None
     _done: asyncio.Event = field(default_factory=asyncio.Event, repr=False)
 
     @property

@@ -1,5 +1,13 @@
 """Latency histograms for the gateway's ``/metrics`` document.
 
+The histogram math now lives in :mod:`repro.obs.metrics`
+(:class:`~repro.obs.metrics.HistogramChild`); this module is a facade
+that keeps the gateway's historical API and — critically — the exact
+JSON shape of its ``/metrics`` payload, while mirroring every
+observation into the process-wide registry as
+``repro_gateway_job_seconds{tenant,kind}`` so the same data is
+scrapeable in Prometheus text format.
+
 Fixed log-spaced buckets (powers of two over a 1 ms base) rather than
 adaptive ones: every scrape of every tenant reports the same bucket
 boundaries, so dashboards can aggregate across tenants and across time
@@ -15,74 +23,21 @@ job — done, failed, or cancelled mid-run — lands in exactly one histogram.
 
 from __future__ import annotations
 
-import bisect
 import threading
 from typing import Optional, Sequence
 
-#: 1ms * 2**k for k in 0..16 — ~1ms to ~65s, then +Inf.
-DEFAULT_BUCKETS: tuple[float, ...] = tuple(0.001 * (2 ** k) for k in range(17))
+from repro.obs.metrics import DEFAULT_BUCKETS, HistogramChild, get_registry
 
 
-class LatencyHistogram:
+class LatencyHistogram(HistogramChild):
     """Fixed-bucket latency histogram with interpolated quantiles."""
 
     def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
-        bounds = sorted(float(b) for b in buckets)
-        if not bounds or any(b <= 0 for b in bounds):
-            raise ValueError("bucket bounds must be positive")
-        self.bounds = bounds  # upper bounds; an implicit +Inf bucket follows
-        self._counts = [0] * (len(bounds) + 1)
-        self._total = 0
-        self._sum = 0.0
-        self._max = 0.0
-        self._lock = threading.Lock()
-
-    def observe(self, seconds: float) -> None:
-        seconds = max(0.0, float(seconds))
-        index = bisect.bisect_left(self.bounds, seconds)
-        with self._lock:
-            self._counts[index] += 1
-            self._total += 1
-            self._sum += seconds
-            if seconds > self._max:
-                self._max = seconds
-
-    @property
-    def count(self) -> int:
-        with self._lock:
-            return self._total
-
-    def quantile(self, q: float) -> Optional[float]:
-        """Interpolated quantile estimate; ``None`` with no observations."""
-        if not 0.0 <= q <= 1.0:
-            raise ValueError("q must be in [0, 1]")
-        with self._lock:
-            if self._total == 0:
-                return None
-            rank = q * self._total
-            seen = 0.0
-            for index, count in enumerate(self._counts):
-                if count == 0:
-                    continue
-                if seen + count >= rank:
-                    upper = (
-                        self.bounds[index]
-                        if index < len(self.bounds)
-                        else self._max  # +Inf bucket: cap at the observed max
-                    )
-                    lower = self.bounds[index - 1] if index > 0 else 0.0
-                    fraction = (rank - seen) / count
-                    return lower + (upper - lower) * min(1.0, max(0.0, fraction))
-                seen += count
-            return self._max
+        super().__init__(buckets)
 
     def to_dict(self) -> dict:
         """Scrape-friendly snapshot: buckets, totals and p50/p99."""
-        with self._lock:
-            counts = list(self._counts)
-            total = self._total
-            total_sum = self._sum
-            observed_max = self._max
+        counts, total, total_sum, observed_max = self.snapshot()
         histogram = {
             "count": total,
             "sum_seconds": round(total_sum, 6),
@@ -105,12 +60,24 @@ def _rounded(value: Optional[float]) -> Optional[float]:
 
 
 class LatencyTracker:
-    """Per-``(tenant, kind)`` histogram registry, shared bucket layout."""
+    """Per-``(tenant, kind)`` histogram registry, shared bucket layout.
+
+    Each tracker owns its histograms (one gateway app == one tracker, so
+    the JSON payload stays isolated per app even under test churn), and
+    mirrors observations into the global
+    ``repro_gateway_job_seconds{tenant,kind}`` family for exposition.
+    """
 
     def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
         self.buckets = tuple(buckets)
         self._histograms: dict[tuple[str, str], LatencyHistogram] = {}
         self._lock = threading.Lock()
+        self._mirror = get_registry().histogram(
+            "repro_gateway_job_seconds",
+            "Gateway job latency by tenant and job kind.",
+            ("tenant", "kind"),
+            buckets=self.buckets,
+        )
 
     def observe(self, tenant: str, kind: str, seconds: float) -> None:
         key = (tenant, kind)
@@ -119,6 +86,7 @@ class LatencyTracker:
             if histogram is None:
                 histogram = self._histograms[key] = LatencyHistogram(self.buckets)
         histogram.observe(seconds)
+        self._mirror.observe(seconds, tenant=tenant, kind=kind)
 
     def tenant_dict(self, tenant: str) -> dict:
         """``{kind: histogram snapshot}`` for one tenant."""

@@ -26,6 +26,13 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.gateway.ratelimit import Clock, RateLimited, TokenBucket
+from repro.obs.metrics import get_registry as _obs_registry
+
+_RATE_LIMITED = _obs_registry().counter(
+    "repro_gateway_rate_limited_total",
+    "Submissions rejected at admission, by tenant and reason.",
+    ("tenant", "reason"),
+)
 from repro.scanserve.registry import RulesetRegistry
 from repro.scanserve.service import ScanService, ScanServiceConfig
 
@@ -176,6 +183,7 @@ class TenantManager:
         tenant = self.get(name)
         if pending_jobs >= tenant.quota.max_pending_jobs:
             tenant.rejected += 1
+            _RATE_LIMITED.inc(tenant=name, reason="pending")
             # the soonest a slot can open is one job finishing; the refill
             # interval is the only time scale the quota defines
             refill = tenant.quota.refill_per_second
@@ -187,6 +195,7 @@ class TenantManager:
         granted, retry_after = tenant.bucket.try_acquire(cost)
         if not granted:
             tenant.rejected += 1
+            _RATE_LIMITED.inc(tenant=name, reason="quota")
             raise RateLimited(
                 f"tenant {name!r} over rate quota "
                 f"({tenant.quota.capacity:g} burst, "

@@ -1,0 +1,64 @@
+"""repro.obs — zero-dependency observability: tracing, metrics, exposition.
+
+The package is split into three modules:
+
+- :mod:`repro.obs.trace` — span-tree tracing with context propagation
+  across threads (contextvars), process-pool chunk dispatch (span context
+  serialized into chunk envelopes), and gateway async jobs.
+- :mod:`repro.obs.metrics` — a process-wide :class:`MetricsRegistry` of
+  labeled counters, gauges, and log-bucketed histograms.
+- :mod:`repro.obs.expo` — Prometheus text exposition and CLI-facing
+  renderers (span trees, slowest-span tables).
+
+Everything is stdlib-only and off-by-default-cheap: the module-level
+tracer starts disabled, and a disabled tracer hands out a shared no-op
+span so instrumented call sites cost one method call and a truth test.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+from repro.obs.trace import (
+    NULL_SPAN,
+    Span,
+    SpanContext,
+    Tracer,
+    configure_tracing,
+    disable_tracing,
+    get_tracer,
+    remote_span_record,
+)
+from repro.obs.expo import (
+    format_metrics_table,
+    format_span_tree,
+    render_prometheus,
+    slowest_spans,
+    span_forest,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "NULL_SPAN",
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "configure_tracing",
+    "disable_tracing",
+    "get_tracer",
+    "remote_span_record",
+    "format_metrics_table",
+    "format_span_tree",
+    "render_prometheus",
+    "slowest_spans",
+    "span_forest",
+]

@@ -1,0 +1,181 @@
+"""Exposition: Prometheus text format and CLI renderers.
+
+:func:`render_prometheus` emits text exposition format 0.0.4 — the
+plain-text `# HELP` / `# TYPE` / sample-line layout every Prometheus
+scraper understands.  Output is deterministic: families sort by name,
+children by label values, histogram buckets ascend and end at ``+Inf``.
+
+The span-side helpers (:func:`span_forest`, :func:`format_span_tree`,
+:func:`slowest_spans`) turn flat span records — from a tracer ring or a
+JSONL sink — into trees and tables for the ``rulellm obs`` commands.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.metrics import HistogramChild, MetricsRegistry
+
+__all__ = [
+    "render_prometheus",
+    "span_forest",
+    "format_span_tree",
+    "slowest_spans",
+    "format_metrics_table",
+]
+
+
+def _fmt_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+def _escape_help(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _label_str(names: Tuple[str, ...], values: Tuple[str, ...], extra: str = "") -> str:
+    parts = [f'{n}="{_escape_label(v)}"' for n, v in zip(names, values)]
+    if extra:
+        parts.append(extra)
+    if not parts:
+        return ""
+    return "{" + ",".join(parts) + "}"
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Render every family in ``registry`` as Prometheus text format."""
+    lines: List[str] = []
+    for family in registry.families():
+        lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for key, child in family.samples():
+            if isinstance(child, HistogramChild):
+                counts, total, total_sum, _max = child.snapshot()
+                cumulative = 0
+                for i, bound in enumerate(family.buckets):
+                    cumulative += counts[i]
+                    le = _fmt_value(float(bound))
+                    label = _label_str(family.labelnames, key, f'le="{le}"')
+                    lines.append(f"{family.name}_bucket{label} {cumulative}")
+                cumulative += counts[-1]
+                label = _label_str(family.labelnames, key, 'le="+Inf"')
+                lines.append(f"{family.name}_bucket{label} {cumulative}")
+                label = _label_str(family.labelnames, key)
+                lines.append(f"{family.name}_sum{label} {_fmt_value(total_sum)}")
+                lines.append(f"{family.name}_count{label} {total}")
+            else:
+                label = _label_str(family.labelnames, key)
+                lines.append(f"{family.name}{label} {_fmt_value(child.value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# -- span rendering ----------------------------------------------------
+
+
+def span_forest(records: Iterable[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Arrange flat span records into trees (children sorted by start).
+
+    Returns the list of roots; each node gains a ``children`` list.
+    Spans whose parent is missing from ``records`` become roots too, so
+    partial sinks still render.
+    """
+    nodes: Dict[str, Dict[str, Any]] = {}
+    for record in records:
+        span_id = record.get("span_id")
+        if not span_id:
+            continue
+        node = dict(record)
+        node["children"] = []
+        nodes[span_id] = node
+    roots: List[Dict[str, Any]] = []
+    for node in nodes.values():
+        parent = nodes.get(node.get("parent_id") or "")
+        if parent is not None and parent is not node:
+            parent["children"].append(node)
+        else:
+            roots.append(node)
+    def sort_children(node: Dict[str, Any]) -> None:
+        node["children"].sort(key=lambda n: (n.get("start", 0.0), n.get("span_id", "")))
+        for child in node["children"]:
+            sort_children(child)
+    roots.sort(key=lambda n: (n.get("start", 0.0), n.get("span_id", "")))
+    for root in roots:
+        sort_children(root)
+    return roots
+
+
+def _format_attrs(attrs: Dict[str, Any]) -> str:
+    if not attrs:
+        return ""
+    inner = " ".join(f"{k}={attrs[k]}" for k in sorted(attrs))
+    return f"  [{inner}]"
+
+
+def format_span_tree(
+    records: Iterable[Dict[str, Any]], trace_id: Optional[str] = None
+) -> str:
+    """ASCII tree of one trace (or every trace in ``records``)."""
+    records = list(records)
+    if trace_id is not None:
+        records = [r for r in records if r.get("trace_id") == trace_id]
+    lines: List[str] = []
+
+    def walk(node: Dict[str, Any], prefix: str, is_last: bool, is_root: bool) -> None:
+        if is_root:
+            connector, child_prefix = "", ""
+        else:
+            connector = prefix + ("└─ " if is_last else "├─ ")
+            child_prefix = prefix + ("   " if is_last else "│  ")
+        status = "" if node.get("status") == "ok" else f" !{node.get('status')}"
+        lines.append(
+            f"{connector}{node.get('name')}  {node.get('seconds', 0.0) * 1000:.1f}ms"
+            f"{status}{_format_attrs(node.get('attrs') or {})}"
+        )
+        children = node.get("children") or []
+        for i, child in enumerate(children):
+            walk(child, child_prefix, i == len(children) - 1, False)
+
+    for root in span_forest(records):
+        lines.append(f"trace {root.get('trace_id')}")
+        walk(root, "", True, True)
+        lines.append("")
+    return "\n".join(lines).rstrip("\n") + ("\n" if lines else "")
+
+
+def slowest_spans(
+    records: Iterable[Dict[str, Any]], limit: int = 10
+) -> List[Dict[str, Any]]:
+    """Top spans by duration, descending (stable on name/span_id ties)."""
+    ranked = sorted(
+        (r for r in records if r.get("span_id")),
+        key=lambda r: (-float(r.get("seconds", 0.0)), r.get("name", ""), r.get("span_id", "")),
+    )
+    return ranked[: max(0, int(limit))]
+
+
+def format_metrics_table(snapshot: Dict[str, dict]) -> str:
+    """Plain-text table of a :meth:`MetricsRegistry.snapshot`."""
+    lines: List[str] = []
+    for name in sorted(snapshot):
+        family = snapshot[name]
+        lines.append(f"{name} ({family['type']})")
+        for series in family["series"]:
+            labels = series.get("labels") or {}
+            label_txt = (
+                "{" + ",".join(f"{k}={labels[k]}" for k in sorted(labels)) + "}"
+                if labels
+                else ""
+            )
+            if "value" in series:
+                lines.append(f"  {label_txt or '-':<40} {_fmt_value(series['value'])}")
+            else:
+                lines.append(
+                    f"  {label_txt or '-':<40} count={series['count']} "
+                    f"sum={series['sum']}s max={series['max']}s"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -38,6 +38,8 @@ import uuid
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Callable, Optional, Sequence, Tuple
 
+from repro.obs.metrics import get_registry as _obs_registry
+from repro.obs.trace import get_tracer
 from repro.scanserve.atoms import DEFAULT_MIN_ATOM_LENGTH
 from repro.scanserve.index import RuleIndex
 from repro.semgrepx.compiler import CompiledSemgrepRuleSet
@@ -391,12 +393,25 @@ class RulesetRegistry:
     ) -> RulesetVersion:
         if yara is None and semgrep is None:
             raise ValueError("publish needs at least one rule set")
-        index = RuleIndex(
-            yara=yara,
-            semgrep=semgrep,
-            min_atom_length=self.min_atom_length,
-            automaton_threshold=self.automaton_threshold,
-        )
+        with get_tracer().span("registry.publish", kind=kind) as span:
+            index = RuleIndex(
+                yara=yara,
+                semgrep=semgrep,
+                min_atom_length=self.min_atom_length,
+                automaton_threshold=self.automaton_threshold,
+            )
+            span.set_attr("lane", index.lane)
+        obs = _obs_registry()
+        obs.counter(
+            "repro_registry_publishes_total",
+            "Ruleset versions published, by publish kind.",
+            ("kind",),
+        ).inc(kind=kind)
+        obs.counter(
+            "repro_index_builds_total",
+            "Prefilter indexes built, by selected lane.",
+            ("lane",),
+        ).inc(lane=index.lane)
         cache_key = content_digest or f"unshared-{uuid.uuid4().hex}"
         with self._lock:
             previous = self._current

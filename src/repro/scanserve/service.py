@@ -52,7 +52,30 @@ from repro.scanserve.scheduler import (
     ShardStats,
     chunk_items,
 )
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer, remote_span_record
 from repro.scanserve.telemetry import RuleCost, RuleCostSample, RuleCostTracker
+
+_METRICS = get_registry()
+_SCAN_BATCHES = _METRICS.counter(
+    "repro_scan_batches_total", "Scan batches served, by serving lane.", ("lane",)
+)
+_SCAN_PACKAGES = _METRICS.counter(
+    "repro_scan_packages_total", "Packages scanned, including cache hits."
+)
+_SCAN_CACHE = _METRICS.counter(
+    "repro_scan_cache_total", "Result-cache lookups by outcome.", ("outcome",)
+)
+_SCAN_SECONDS = _METRICS.histogram(
+    "repro_scan_batch_seconds", "Wall time per scan batch."
+)
+_SCAN_FALLBACKS = _METRICS.counter(
+    "repro_scan_fallbacks_total",
+    "Scheduler dispatches that fell back from the process lane.",
+)
+_SCAN_RESCANS = _METRICS.counter(
+    "repro_scan_rescans_total", "Live re-scans of the recency window."
+)
 
 # -- worker-side state -------------------------------------------------------------
 # Module level so the process lane can ship it through the pool initializer;
@@ -112,10 +135,25 @@ def _worker_init(
 
 
 def _scan_shard(
-    shard: list[tuple[int, "Package | PreparedPackage"]],
-) -> tuple[list, ScanTimings, float, Optional[RuleCostSample]]:
-    """Scan one chunk as a batch; returns (indexed detections, timings, seconds, costs)."""
+    envelope,
+) -> tuple[list, ScanTimings, float, Optional[RuleCostSample], list]:
+    """Scan one chunk as a batch.
+
+    ``envelope`` is ``(items, span_carrier)`` — the chunk plus the parent
+    span context serialized as a plain dict (``None`` when tracing is
+    off), so the process lane can emit ``scan.chunk`` spans that join the
+    caller's trace.  A bare list of items is accepted for compatibility.
+
+    Returns ``(indexed detections, timings, seconds, costs, span records)``;
+    shard-local telemetry rides home in the result tuple and the parent
+    folds it back into service-level aggregates.
+    """
+    if isinstance(envelope, tuple):
+        shard, carrier = envelope
+    else:
+        shard, carrier = envelope, None
     assert _WORKER_SCANNER is not None, "worker not initialised"
+    start_wall = time.time()
     started = time.perf_counter()
     timings = ScanTimings()
     costs = RuleCostSample() if _WORKER_TRACK_COSTS else None
@@ -126,7 +164,19 @@ def _scan_shard(
         (position, detection)
         for (position, _), detection in zip(shard, scanned)
     ]
-    return detections, timings, time.perf_counter() - started, costs
+    seconds = time.perf_counter() - started
+    spans: list = []
+    if carrier is not None:
+        record = remote_span_record(
+            carrier,
+            "scan.chunk",
+            start_wall,
+            seconds,
+            attrs={"packages": len(shard)},
+        )
+        if record is not None:
+            spans.append(record)
+    return detections, timings, seconds, costs, spans
 
 
 @dataclass
@@ -416,6 +466,20 @@ class ScanService:
         prepared inputs from the recency ring).  ``record_recency=False``
         keeps the batch out of the recency ring (used by the re-scan itself).
         """
+        tracer = get_tracer()
+        with tracer.span("scan.batch", packages=len(packages)) as batch_span:
+            return self._scan_batch_inner(
+                packages, version, record_recency, tracer, batch_span
+            )
+
+    def _scan_batch_inner(
+        self,
+        packages: Sequence[Union[Package, PreparedPackage]],
+        version: Optional[int],
+        record_recency: bool,
+        tracer,
+        batch_span,
+    ) -> BatchScanResult:
         ruleset = (
             self.registry.current() if version is None else self.registry.get(version)
         )
@@ -475,22 +539,34 @@ class ScanService:
                 # count stays the parallelism bound
                 max_workers=self.config.max_workers or num_shards,
             )
-            report = scheduler.run(
-                chunks,
-                _scan_shard,
-                init_fn=_worker_init,
-                init_args=(
-                    self._ruleset_payload(ruleset, worker_count=len(chunks)),
-                    self.config.match_threshold,
-                    self.config.include_metadata_in_text,
-                    self.config.track_rule_costs,
-                ),
-            )
-            for shard_id, (detections, timings, seconds, costs) in enumerate(
-                report.results
+            with tracer.span(
+                "scan.dispatch", chunks=len(chunks), mode=self.config.mode
             ):
+                # the span carrier rides inside each chunk envelope so the
+                # process lane can emit scan.chunk spans under this trace
+                carrier = tracer.carrier()
+                report = scheduler.run(
+                    [(chunk, carrier) for chunk in chunks],
+                    _scan_shard,
+                    init_fn=_worker_init,
+                    init_args=(
+                        self._ruleset_payload(ruleset, worker_count=len(chunks)),
+                        self.config.match_threshold,
+                        self.config.include_metadata_in_text,
+                        self.config.track_rule_costs,
+                    ),
+                )
+            for shard_id, (
+                detections,
+                timings,
+                seconds,
+                costs,
+                span_records,
+            ) in enumerate(report.results):
                 if costs is not None:
                     self.rule_costs.absorb(costs)
+                if span_records:
+                    tracer.absorb(span_records)
                 stats = ShardStats(shard_id=shard_id, seconds=seconds)
                 for position, detection in detections:
                     ordered[position] = detection
@@ -528,6 +604,20 @@ class ScanService:
         else:
             lane = "cache"  # fully cache-served: the index never ran
         self.stats.lanes[lane] = self.stats.lanes.get(lane, 0) + 1
+        _SCAN_BATCHES.inc(lane=lane)
+        _SCAN_PACKAGES.inc(len(packages))
+        _SCAN_SECONDS.observe(elapsed)
+        if self.config.enable_cache:
+            if cache_hits:
+                _SCAN_CACHE.inc(cache_hits, outcome="hit")
+            if to_scan:
+                _SCAN_CACHE.inc(len(to_scan), outcome="miss")
+        if report.fallback_error:
+            _SCAN_FALLBACKS.inc()
+        batch_span.set_attr("lane", lane)
+        batch_span.set_attr("mode", batch.mode)
+        batch_span.set_attr("version", ruleset.version)
+        batch_span.set_attr("cache_hits", cache_hits)
         if record_recency and self.config.recency_window > 0 and fingerprints:
             self._remember(ruleset.version, fingerprints, prepared_by_position, ordered)
         return batch
@@ -616,11 +706,13 @@ class ScanService:
             if not entries:
                 return None
             started = time.perf_counter()
-            batch = self.scan_batch(
-                [entry.prepared for _, entry in entries],
-                version=target,
-                record_recency=False,
-            )
+            with get_tracer().span("scan.rescan", to_version=target):
+                batch = self.scan_batch(
+                    [entry.prepared for _, entry in entries],
+                    version=target,
+                    record_recency=False,
+                )
+            _SCAN_RESCANS.inc()
             from_versions = {entry.version for _, entry in entries}
             delta = RescanDelta(
                 to_version=target,

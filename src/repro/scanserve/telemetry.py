@@ -20,6 +20,17 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass, field
 
+from repro.obs.metrics import get_registry
+
+_RULE_EVALS = get_registry().counter(
+    "repro_rule_evaluations_total", "Rule evaluations, by engine.", ("engine",)
+)
+_RULE_SECONDS = get_registry().counter(
+    "repro_rule_eval_seconds_total",
+    "Cumulative seconds spent evaluating rules, by engine.",
+    ("engine",),
+)
+
 
 @dataclass
 class RuleCost:
@@ -73,6 +84,19 @@ class RuleCostTracker:
         self._costs: dict[tuple[str, str], RuleCost] = {}
 
     def absorb(self, sample: RuleCostSample) -> None:
+        # mirror engine-level aggregates into the process-wide registry so
+        # rule-evaluation cost shows up in Prometheus scrapes; the per-rule
+        # detail stays here (unbounded rule names make bad label values)
+        per_engine: dict[str, tuple[int, float]] = {}
+        for (engine, _), incoming in sample.costs.items():
+            evals, seconds = per_engine.get(engine, (0, 0.0))
+            per_engine[engine] = (
+                evals + incoming.evaluations,
+                seconds + incoming.total_seconds,
+            )
+        for engine, (evals, seconds) in per_engine.items():
+            _RULE_EVALS.inc(evals, engine=engine)
+            _RULE_SECONDS.inc(seconds, engine=engine)
         with self._lock:
             for key, incoming in sample.costs.items():
                 cost = self._costs.get(key)

@@ -38,7 +38,18 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator, Optional
 
+from repro.obs.metrics import get_registry
 from repro.utils.atomic import fsync_dir
+
+_JOURNAL_APPENDS = get_registry().counter(
+    "repro_journal_appends_total", "Journal records appended, by record type.", ("type",)
+)
+_JOURNAL_BYTES = get_registry().counter(
+    "repro_journal_bytes_total", "Framed bytes appended to the journal."
+)
+_JOURNAL_ROTATIONS = get_registry().counter(
+    "repro_journal_rotations_total", "Journal segment rotations."
+)
 
 #: Segment file header; also the format version gate.
 SEGMENT_MAGIC = b"RWAL1\n"
@@ -314,6 +325,8 @@ class Journal:
                 os.fsync(self._handle.fileno())
             self._segment_bytes += len(frame)
             self._last_epoch = epoch
+            _JOURNAL_APPENDS.inc(type=record_type)
+            _JOURNAL_BYTES.inc(len(frame))
             return epoch
 
     def _write(self, frame: bytes) -> None:
@@ -334,6 +347,7 @@ class Journal:
         self._handle.close()
         sealed = self._segment_path
         self._start_segment(_segment_number(sealed) + 1)
+        _JOURNAL_ROTATIONS.inc()
         return sealed
 
     # -- reading ------------------------------------------------------------------

@@ -302,3 +302,71 @@ class TestArenaCli:
     def test_missing_state_dir_fails_with_hint(self, tmp_path):
         with pytest.raises(SystemExit, match="arena run"):
             cli_main(["arena", "leaderboard", str(tmp_path / "nowhere")])
+
+
+class TestObsCommands:
+    @pytest.fixture()
+    def trace_file(self, tmp_path):
+        records = [
+            {"trace_id": "t1", "span_id": "a", "parent_id": None,
+             "name": "scan.batch", "start": 1.0, "seconds": 0.05,
+             "status": "ok", "attrs": {"packages": 4}},
+            {"trace_id": "t1", "span_id": "b", "parent_id": "a",
+             "name": "scan.chunk", "start": 1.1, "seconds": 0.02,
+             "status": "ok", "attrs": {}},
+        ]
+        path = tmp_path / "spans.jsonl"
+        path.write_text(
+            "\n".join(json.dumps(r) for r in records) + "\n{torn tail",
+            encoding="utf-8",
+        )
+        return path
+
+    def test_obs_spans_renders_the_tree(self, trace_file, capsys):
+        assert cli_main(["obs", "spans", str(trace_file)]) == 0
+        output = capsys.readouterr().out
+        assert "trace t1" in output
+        assert "scan.batch  50.0ms" in output
+        assert "└─ scan.chunk  20.0ms" in output
+
+    def test_obs_spans_filters_by_trace_id(self, trace_file, capsys):
+        assert cli_main(
+            ["obs", "spans", str(trace_file), "--trace-id", "t1"]
+        ) == 0
+        assert "scan.batch" in capsys.readouterr().out
+
+    def test_obs_top_ranks_by_duration(self, trace_file, capsys):
+        assert cli_main(["obs", "top", str(trace_file), "--limit", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "scan.batch" in output
+        assert "scan.chunk" not in output
+
+    def test_obs_spans_missing_file_fails(self, tmp_path, capsys):
+        assert cli_main(["obs", "spans", str(tmp_path / "nope.jsonl")]) == 1
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_obs_spans_empty_file_fails(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("", encoding="utf-8")
+        assert cli_main(["obs", "spans", str(empty)]) == 1
+        assert "no span records" in capsys.readouterr().err
+
+    def test_orchestrate_trace_flag_writes_spans(self, malware_dir, tmp_path, capsys):
+        sink = tmp_path / "fleet.jsonl"
+        assert cli_main([
+            "orchestrate", "--packages", str(malware_dir),
+            "--shards", "2", "--baseline", "0", "--trace", str(sink),
+        ]) == 0
+        assert "tracing enabled" in capsys.readouterr().out
+        names = {
+            json.loads(line)["name"]
+            for line in sink.read_text(encoding="utf-8").splitlines()
+        }
+        assert "fleet.run" in names
+        assert "session.generate" in names
+        # the CLI process leaves the global tracer configured; later tests
+        # must not inherit it
+        from repro.obs import disable_tracing, get_tracer
+
+        disable_tracing()
+        assert not get_tracer().enabled
